@@ -1,0 +1,87 @@
+//! The ten benchmark algorithms from Table 1 of the Chaos paper, expressed
+//! as [`chaos_gas::GasProgram`]s.
+//!
+//! | Algorithm | Module | Input |
+//! |---|---|---|
+//! | Breadth-First Search | [`bfs`] | undirected |
+//! | Weakly Connected Components | [`wcc`] | undirected |
+//! | Minimum Cost Spanning Trees | [`mcst`] | undirected, weighted |
+//! | Maximal Independent Sets | [`mis`] | undirected |
+//! | Single Source Shortest Paths | [`sssp`] | undirected, weighted |
+//! | Pagerank | [`pagerank`] | directed |
+//! | Strongly Connected Components | [`scc`] | directed |
+//! | Conductance | [`conductance`] | directed |
+//! | Sparse Matrix-Vector Multiply | [`spmv`] | directed, weighted |
+//! | Belief Propagation | [`bp`] | directed |
+//!
+//! Every module carries unit tests comparing the sequential GAS execution
+//! against an independent oracle from `chaos_graph::reference`; the
+//! integration tests repeat the comparison against the full distributed
+//! engine.
+
+pub mod bfs;
+pub mod bp;
+pub mod conductance;
+pub mod mcst;
+pub mod mis;
+pub mod pagerank;
+pub mod params;
+pub mod scc;
+pub mod spmv;
+pub mod sssp;
+pub mod wcc;
+
+pub use params::{needs_undirected, needs_weights, AlgoParams, ALGO_NAMES};
+
+/// Dispatches `$body` with `$p` bound to a freshly constructed program for
+/// the named algorithm, using [`AlgoParams`] for the knobs. Panics on an
+/// unknown name.
+#[macro_export]
+macro_rules! with_algo {
+    ($name:expr, $params:expr, |$p:ident| $body:expr) => {{
+        let params: &$crate::AlgoParams = $params;
+        match $name {
+            "BFS" => {
+                let $p = $crate::bfs::Bfs::new(params.root);
+                $body
+            }
+            "WCC" => {
+                let $p = $crate::wcc::Wcc::new();
+                $body
+            }
+            "MCST" => {
+                let $p = $crate::mcst::Mcst::new();
+                $body
+            }
+            "MIS" => {
+                let $p = $crate::mis::Mis::new(params.seed);
+                $body
+            }
+            "SSSP" => {
+                let $p = $crate::sssp::Sssp::new(params.root);
+                $body
+            }
+            "PR" => {
+                let $p = $crate::pagerank::Pagerank::new(params.pr_iterations);
+                $body
+            }
+            "SCC" => {
+                let $p = $crate::scc::Scc::new();
+                $body
+            }
+            "Cond" => {
+                let $p = $crate::conductance::Conductance::new(params.seed);
+                $body
+            }
+            "SpMV" => {
+                let $p = $crate::spmv::Spmv::new(params.seed);
+                $body
+            }
+            "BP" => {
+                let $p = $crate::bp::BeliefPropagation::new(params.seed, params.bp_iterations);
+                $body
+            }
+            other => panic!("unknown algorithm {other:?}"),
+        }
+    }};
+}

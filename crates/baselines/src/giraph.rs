@@ -1,0 +1,75 @@
+//! Giraph-like engine configuration (Figure 19).
+//!
+//! Out-of-core Giraph partitions vertices randomly across machines, places
+//! each partition's data on its owner's storage, and performs no dynamic
+//! load balancing. The paper models this in its own ablation ("similar to
+//! the experiment reported in Figure 18, with α equal to zero") and adds
+//! that Giraph is an order of magnitude slower in absolute terms due to
+//! JVM overheads, which is why Figure 19 normalizes each system to its own
+//! single-machine runtime.
+//!
+//! We express the baseline as a configuration of the same engine:
+//! locality-seeking placement, stealing disabled, and a constant-factor
+//! per-record CPU penalty for the JVM.
+
+use chaos_core::{ChaosConfig, Placement};
+
+/// JVM per-record slowdown relative to native code (order of magnitude,
+/// per §10.2).
+pub const JVM_FACTOR: u64 = 10;
+
+/// Builds the Giraph-like configuration for `machines`.
+pub fn giraph_config(machines: usize) -> ChaosConfig {
+    let mut cfg = ChaosConfig::new(machines);
+    cfg.placement = Placement::LocalOnly;
+    cfg.steal_alpha = 0.0;
+    cfg.ns_per_record *= JVM_FACTOR;
+    cfg.msg_cpu_ns *= JVM_FACTOR;
+    // Giraph's out-of-core mode does not pagecache-pipeline its spills.
+    cfg.pagecache_bytes = 0;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_algos::pagerank::Pagerank;
+    use chaos_core::run_chaos;
+    use chaos_graph::{reference, RmatConfig};
+
+    #[test]
+    fn giraph_config_is_valid_and_correct() {
+        let g = RmatConfig::paper(9).generate();
+        let cfg = giraph_config(4);
+        assert!(cfg.validate().is_ok());
+        let (report, states) = run_chaos(cfg, Pagerank::new(3), &g);
+        assert_eq!(report.steals, 0, "no dynamic load balancing");
+        let oracle = reference::pagerank(&g, 3);
+        for (s, o) in states.iter().zip(oracle.iter()) {
+            assert!((s.0 as f64 - o).abs() <= 1e-3 * o.max(1.0));
+        }
+    }
+
+    #[test]
+    fn giraph_scales_worse_than_chaos() {
+        // Strong scaling on a skewed graph: Chaos with stealing should get
+        // closer to ideal than the static-partition baseline. Needs a graph
+        // large enough for per-iteration streaming to dominate barriers.
+        let g = RmatConfig::paper(15).generate();
+        let run = |mut cfg: ChaosConfig| {
+            cfg.mem_budget = 64 * 1024; // several partitions per machine
+            cfg.chunk_bytes = 64 * 1024;
+            run_chaos(cfg, Pagerank::new(3), &g).0.runtime as f64
+        };
+        let chaos_1 = run(ChaosConfig::new(1));
+        let chaos_8 = run(ChaosConfig::new(8));
+        let giraph_1 = run(giraph_config(1));
+        let giraph_8 = run(giraph_config(8));
+        let chaos_speedup = chaos_1 / chaos_8;
+        let giraph_speedup = giraph_1 / giraph_8;
+        assert!(
+            chaos_speedup > giraph_speedup,
+            "chaos {chaos_speedup:.2} vs giraph {giraph_speedup:.2}"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Baseline systems the paper compares Chaos against.
+//!
+//! - [`xstream`]: a single-machine out-of-core streaming engine in the
+//!   style of X-Stream (SOSP 2013) — direct I/O, no client-server split,
+//!   no network. Used for Table 1 and as an additional correctness oracle.
+//! - [`giraph`]: a Giraph-like configuration of the engine — static hash
+//!   partitioning with strict locality and no dynamic load balancing —
+//!   plus the constant-factor JVM overhead, for Figure 19.
+//! - [`grid`]: PowerGraph's constrained grid (2-D) vertex-cut partitioner,
+//!   for the Figure 20 pre-processing-cost comparison.
+
+pub mod giraph;
+pub mod grid;
+pub mod xstream;
+
+pub use giraph::giraph_config;
+pub use grid::GridPartitioner;
+pub use xstream::{XStream, XStreamConfig, XStreamReport};

@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks of the reproduction's building blocks.
+//!
+//! These measure the *host* performance of the substrates (how fast the
+//! simulator itself runs), complementing the simulated-time figure
+//! harnesses in `src/`. One bench per hot component: the event queue, the
+//! RNG, graph generation, the streaming-partition pass, the record codec,
+//! the chunk-store serve path, the scatter/gather inner kernels via the
+//! sequential executor, the reference oracles, the grid partitioner, and
+//! one end-to-end simulated cluster run.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use chaos_algos::pagerank::Pagerank;
+use chaos_algos::wcc::Wcc;
+use chaos_baselines::GridPartitioner;
+use chaos_core::{run_chaos, ChaosConfig};
+use chaos_gas::record::{decode_all, encode_all};
+use chaos_gas::run_sequential;
+use chaos_graph::{partition_edges, reference, PartitionSpec, RmatConfig};
+use chaos_sim::{EventQueue, Rng};
+use chaos_storage::ChunkSet;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop_10k", |b| {
+        let mut rng = Rng::new(7);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i % 8, i as u64);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.msg);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("sim/rng_below_1m", |b| {
+        let mut rng = Rng::new(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.below(32));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rmat(c: &mut Criterion) {
+    c.bench_function("graph/rmat_scale14_generate", |b| {
+        b.iter(|| black_box(RmatConfig::paper(14).generate().num_edges()))
+    });
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let g = RmatConfig::paper(14).generate();
+    let spec = PartitionSpec::with_partitions(g.num_vertices, 32);
+    c.bench_function("graph/streaming_partition_pass_256k_edges", |b| {
+        b.iter(|| black_box(partition_edges(&g, &spec).len()))
+    });
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let values: Vec<u64> = (0..100_000).collect();
+    let encoded = encode_all(&values);
+    c.bench_function("gas/encode_100k_u64", |b| {
+        b.iter(|| black_box(encode_all(&values).len()))
+    });
+    c.bench_function("gas/decode_100k_u64", |b| {
+        b.iter(|| black_box(decode_all::<u64>(&encoded).len()))
+    });
+}
+
+fn bench_chunk_store(c: &mut Criterion) {
+    c.bench_function("storage/chunkset_append_serve_1k_chunks", |b| {
+        let chunk: Arc<Vec<u64>> = Arc::new((0..1024).collect());
+        b.iter_batched(
+            || {
+                let mut cs = ChunkSet::<u64>::in_memory(8);
+                for _ in 0..1000 {
+                    cs.append(Arc::clone(&chunk)).expect("mem");
+                }
+                cs
+            },
+            |mut cs| {
+                let mut n = 0;
+                while let Some(ch) = cs.serve_next().expect("mem") {
+                    n += ch.len();
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gas_kernels(c: &mut Criterion) {
+    let g = RmatConfig::paper(13).generate();
+    c.bench_function("gas/sequential_pagerank_3it_scale13", |b| {
+        b.iter(|| black_box(run_sequential(Pagerank::new(3), &g, 4).states.len()))
+    });
+    let u = g.to_undirected();
+    c.bench_function("gas/sequential_wcc_scale13", |b| {
+        b.iter(|| black_box(run_sequential(Wcc::new(), &u, 10_000).states.len()))
+    });
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let g = RmatConfig::paper(13).generate();
+    c.bench_function("reference/tarjan_scc_scale13", |b| {
+        b.iter(|| black_box(reference::strongly_connected_components(&g).len()))
+    });
+    c.bench_function("reference/pagerank_3it_scale13", |b| {
+        b.iter(|| black_box(reference::pagerank(&g, 3).len()))
+    });
+}
+
+fn bench_grid_partitioner(c: &mut Criterion) {
+    let g = RmatConfig::paper(13).generate();
+    c.bench_function("baselines/grid_partition_scale13_m16", |b| {
+        let gp = GridPartitioner::new(16);
+        b.iter(|| black_box(gp.partition(&g).replication_factor))
+    });
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let g = RmatConfig::paper(11).generate();
+    c.bench_function("core/cluster_pr3_m4_scale11", |b| {
+        b.iter(|| {
+            let mut cfg = ChaosConfig::new(4);
+            cfg.chunk_bytes = 32 * 1024;
+            black_box(run_chaos(cfg, Pagerank::new(3), &g).0.events)
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_event_queue,
+        bench_rng,
+        bench_rmat,
+        bench_partitioner,
+        bench_record_codec,
+        bench_chunk_store,
+        bench_gas_kernels,
+        bench_oracles,
+        bench_grid_partitioner,
+        bench_cluster
+);
+criterion_main!(kernels);

@@ -1,0 +1,107 @@
+//! Design-decision probes beyond the paper's figures.
+//!
+//! 1. Chunk-size sweep — §6.2 argues chunks must be "large enough for
+//!    sequential access, small enough to be units of distribution and
+//!    stealing"; the sweep shows both cliffs.
+//! 2. Page cache on/off — isolates the Conductance weak-scaling anomaly of
+//!    §9.1 ("updates fit in the buffer cache").
+//! 3. Placement policy — random-uniform vs locality-seeking placement at
+//!    fixed machine count, isolating the "no locality needed" claim from
+//!    the stealing machinery (both run with stealing on).
+
+use chaos_core::Placement;
+
+use crate::harness::{banner, row, Harness};
+
+/// Runs the probes.
+pub fn run(h: &Harness) {
+    chunk_size_sweep(h);
+    pagecache_conductance(h);
+    placement_probe(h);
+}
+
+fn chunk_size_sweep(h: &Harness) {
+    let m = 8;
+    let scale = h.scale.base_scale + 3;
+    banner(
+        "ablation: chunk size",
+        &format!("PR on RMAT-{scale}, m={m}, normalized to the default"),
+    );
+    let sizes: [u64; 5] = [4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024];
+    let g = h.rmat_for(scale, "PR");
+    let mut times = Vec::new();
+    for &s in &sizes {
+        let mut cfg = h.config(m);
+        cfg.chunk_bytes = s;
+        times.push(h.run("PR", cfg, &g).runtime as f64);
+    }
+    let reference = times[2];
+    let mut header = Vec::new();
+    let mut cells = Vec::new();
+    for (s, t) in sizes.iter().zip(times.iter()) {
+        header.push(format!("{}K", s / 1024));
+        cells.push(format!("{:.2}", t / reference));
+    }
+    println!("{}", row(&header));
+    println!("{}", row(&cells));
+    println!("tiny chunks pay per-request latency; huge chunks lose steal granularity");
+}
+
+fn pagecache_conductance(h: &Harness) {
+    banner(
+        "ablation: page cache",
+        "Conductance weak scaling with and without the page cache (the 9.1 anomaly)",
+    );
+    let base = h.scale.base_scale;
+    let mut header = vec!["series".to_string()];
+    header.extend(h.scale.machines.iter().map(|m| format!("m={m}")));
+    println!("{}", row(&header));
+    for cached in [true, false] {
+        let mut cells = vec![if cached { "cache on" } else { "cache off" }.to_string()];
+        let mut base_time = 0.0;
+        for &m in h.scale.machines {
+            let scale = base + (m as f64).log2().round() as u32;
+            let g = h.rmat_for(scale, "Cond");
+            let mut cfg = h.config(m);
+            if !cached {
+                cfg.pagecache_bytes = 0;
+            }
+            let rep = h.run("Cond", cfg, &g);
+            if m == 1 {
+                base_time = rep.runtime as f64;
+            }
+            cells.push(format!("{:.2}", rep.runtime as f64 / base_time));
+        }
+        println!("{}", row(&cells));
+    }
+    println!("with the cache, per-machine update sets shrink with m and stop hitting the device");
+}
+
+fn placement_probe(h: &Harness) {
+    let m = 8;
+    let scale = h.scale.base_scale + 3;
+    banner(
+        "ablation: placement",
+        &format!("PR on RMAT-{scale}, m={m}: random-uniform vs locality placement"),
+    );
+    let g = h.rmat_for(scale, "PR");
+    for placement in [Placement::RandomUniform, Placement::LocalOnly] {
+        let mut cfg = h.config(m);
+        cfg.mem_budget = h.scale.mem_budget / 2;
+        cfg.placement = placement;
+        let rep = h.run("PR", cfg, &g);
+        println!(
+            "{:<16} runtime {:>8.3}s  max-device-busy/mean {:.2}  steals {}",
+            format!("{placement:?}"),
+            rep.seconds(),
+            {
+                let max = rep.device_busy.iter().copied().max().unwrap_or(0) as f64;
+                let mean = rep.device_busy.iter().sum::<u64>() as f64
+                    / rep.device_busy.len().max(1) as f64;
+                max / mean.max(1.0)
+            },
+            rep.steals
+        );
+    }
+    println!("random placement evens device load; locality concentrates it on hub masters");
+}

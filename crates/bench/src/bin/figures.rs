@@ -1,0 +1,44 @@
+//! CLI driving the table/figure harnesses.
+//!
+//! ```text
+//! figures list            # show experiment ids
+//! figures fig7            # one experiment at the quick scale
+//! figures all             # everything, quick scale
+//! figures all --full      # everything, larger scale
+//! ```
+
+use chaos_bench::{run_experiment, Harness, Scale, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let scale = if full { Scale::full() } else { Scale::quick() };
+
+    match ids.first().copied() {
+        None | Some("list") => {
+            println!("experiments (run with `figures <id>` or `figures all [--full]`):");
+            for (id, what) in EXPERIMENTS {
+                println!("  {id:<10} {what}");
+            }
+        }
+        Some("all") => {
+            let h = Harness::new(scale);
+            for (id, _) in EXPERIMENTS {
+                run_experiment(id, &h);
+                eprintln!("[{:7.1}s elapsed]", h.elapsed());
+            }
+            println!("\nall experiments done in {:.1}s wall clock", h.elapsed());
+        }
+        Some(_) => {
+            let h = Harness::new(scale);
+            for id in ids {
+                run_experiment(id, &h);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 10: sensitivity to the number of CPU cores.
+//!
+//! The paper varies the cores available to Chaos (p = 8, 12, 16) during
+//! weak scaling and finds the system "performs adequately even with half
+//! the CPU cores", since cores only matter for sustaining network and
+//! storage throughput.
+
+use crate::harness::{banner, row, Harness};
+
+/// Runs the experiment.
+pub fn run(h: &Harness) {
+    let base = h.scale.base_scale;
+    banner("fig10", "weak scaling at p = 8 / 12 / 16 cores, normalized to (m=1, p=16)");
+    let mut header = vec!["series".to_string()];
+    header.extend(h.scale.machines.iter().map(|m| format!("m={m}")));
+    println!("{}", row(&header));
+    for algo in ["BFS", "PR"] {
+        let mut base_time = 0.0;
+        for cores in [16u32, 12, 8] {
+            let mut cells = vec![format!("{algo} p={cores}")];
+            for &m in h.scale.machines {
+                let scale = base + (m as f64).log2().round() as u32;
+                let g = h.rmat_for(scale, algo);
+                let mut cfg = h.config(m);
+                cfg.cores = cores;
+                let rep = h.run(algo, cfg, &g);
+                if m == 1 && cores == 16 {
+                    base_time = rep.runtime as f64;
+                }
+                cells.push(format!("{:.2}", rep.runtime as f64 / base_time));
+            }
+            println!("{}", row(&cells));
+        }
+    }
+    println!("\npaper: p=8 tracks p=16 closely; a minimum is needed for network throughput");
+}

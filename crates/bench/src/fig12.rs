@@ -1,0 +1,48 @@
+//! Figure 12: 40 GigE vs 1 GigE.
+//!
+//! On 1 GigE the network delivers about a quarter of the storage
+//! bandwidth, violating Chaos's core assumption; scaling collapses
+//! (normalized runtimes of 5-9x in the paper), "highlighting the need for
+//! network links which are faster than the storage bandwidth per machine".
+
+use crate::harness::{banner, row, Harness};
+
+/// Runs the experiment.
+pub fn run(h: &Harness) {
+    let base = h.scale.base_scale;
+    banner("fig12", "weak scaling over 40GigE vs 1GigE, normalized to (m=1, 40G)");
+    let mut header = vec!["series".to_string()];
+    header.extend(h.scale.machines.iter().map(|m| format!("m={m}")));
+    println!("{}", row(&header));
+    let mut slow_norm_at_max = 0.0;
+    for algo in ["BFS", "PR"] {
+        let mut base_time = 0.0;
+        for slow in [false, true] {
+            let mut cells = vec![format!("{algo} {}", if slow { "1G" } else { "40G" })];
+            for &m in h.scale.machines {
+                let scale = base + (m as f64).log2().round() as u32;
+                let g = h.rmat_for(scale, algo);
+                let cfg = if slow {
+                    h.config(m).with_one_gige()
+                } else {
+                    h.config(m)
+                };
+                let rep = h.run(algo, cfg, &g);
+                if m == 1 && !slow {
+                    base_time = rep.runtime as f64;
+                }
+                let norm = rep.runtime as f64 / base_time;
+                if slow {
+                    slow_norm_at_max = norm;
+                }
+                cells.push(format!("{norm:.2}"));
+            }
+            println!("{}", row(&cells));
+        }
+    }
+    println!(
+        "\n1GigE normalized runtime at m={}: {:.1} (paper: 5-9x; the network becomes the bottleneck)",
+        h.scale.machines.last().expect("non-empty"),
+        slow_norm_at_max
+    );
+}

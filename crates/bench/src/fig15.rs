@@ -1,0 +1,45 @@
+//! Figure 15: randomized placement vs a centralized chunk directory.
+//!
+//! The strawman routes every chunk placement and lookup through one
+//! directory entity; the paper shows its runtime growing much faster with
+//! machine count than Chaos's randomized scheme.
+
+use chaos_core::Placement;
+
+use crate::harness::{banner, row, Harness};
+
+/// Runs the experiment.
+pub fn run(h: &Harness) {
+    let base = h.scale.base_scale;
+    banner(
+        "fig15",
+        "weak scaling: randomized chunks vs centralized directory, normalized to (m=1, Chaos)",
+    );
+    let mut header = vec!["series".to_string()];
+    header.extend(h.scale.machines.iter().map(|m| format!("m={m}")));
+    println!("{}", row(&header));
+    for algo in ["BFS", "PR"] {
+        let mut base_time = 0.0;
+        for centralized in [false, true] {
+            let mut cells = vec![format!(
+                "{algo} {}",
+                if centralized { "central" } else { "chaos" }
+            )];
+            for &m in h.scale.machines {
+                let scale = base + (m as f64).log2().round() as u32;
+                let g = h.rmat_for(scale, algo);
+                let mut cfg = h.config(m);
+                if centralized {
+                    cfg.placement = Placement::Centralized;
+                }
+                let rep = h.run(algo, cfg, &g);
+                if m == 1 && !centralized {
+                    base_time = rep.runtime as f64;
+                }
+                cells.push(format!("{:.2}", rep.runtime as f64 / base_time));
+            }
+            println!("{}", row(&cells));
+        }
+    }
+    println!("\npaper: the centralized entity increasingly becomes the bottleneck with m");
+}

@@ -1,0 +1,50 @@
+//! Figure 18: the work-stealing bias α.
+//!
+//! α scales the benefit side of the steal criterion (§5.4): 0 disables
+//! stealing, 1 is Chaos's default, ∞ always steals. The paper shows α = 1
+//! is fastest — under-stealing leaves imbalance, over-stealing pays vertex
+//! copies for no benefit.
+
+use crate::harness::{banner, row, Harness};
+
+/// Runs the experiment.
+pub fn run(h: &Harness) {
+    let m = *h.scale.machines.last().expect("non-empty");
+    let scale = h.scale.base_scale + 5;
+    banner(
+        "fig18",
+        &format!("steal-bias sweep at m={m}, RMAT-{scale}, normalized to alpha=1"),
+    );
+    let alphas: [(f64, &str); 5] = [
+        (0.0, "0"),
+        (0.8, "0.8"),
+        (1.0, "1.0"),
+        (1.2, "1.2"),
+        (f64::INFINITY, "inf"),
+    ];
+    let mut header = vec!["algo".to_string()];
+    header.extend(alphas.iter().map(|(_, s)| format!("a={s}")));
+    header.push("steals@1".into());
+    println!("{}", row(&header));
+    for algo in ["BFS", "PR"] {
+        let g = h.rmat_for(scale, algo);
+        let mut times = Vec::new();
+        let mut steals_at_one = 0;
+        for &(alpha, _) in &alphas {
+            let mut cfg = h.config(m);
+            cfg.mem_budget = h.scale.mem_budget / 2;
+            cfg.steal_alpha = alpha;
+            let rep = h.run(algo, cfg, &g);
+            if alpha == 1.0 {
+                steals_at_one = rep.steals;
+            }
+            times.push(rep.runtime as f64);
+        }
+        let reference = times[2];
+        let mut cells = vec![algo.to_string()];
+        cells.extend(times.iter().map(|t| format!("{:.2}", t / reference)));
+        cells.push(steals_at_one.to_string());
+        println!("{}", row(&cells));
+    }
+    println!("\npaper: alpha = 1 obtains the best performance");
+}

@@ -1,0 +1,158 @@
+//! Shared experiment plumbing: scales, graph cache, run helpers, printing.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
+use chaos_core::{run_chaos, ChaosConfig, RunReport};
+use chaos_graph::{InputGraph, RmatConfig, WebGraphConfig};
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// RMAT scale on one machine; weak scaling adds `log2(m)`.
+    pub base_scale: u32,
+    /// Chunk size in bytes (the paper's 4 MiB, scaled down with the graph).
+    pub chunk_bytes: u64,
+    /// Per-machine vertex memory budget.
+    pub mem_budget: u64,
+    /// Machine counts swept.
+    pub machines: &'static [usize],
+    /// Run the expensive algorithms (MCST, SCC, SSSP, MIS) in the
+    /// all-algorithm figures.
+    pub all_algorithms: bool,
+}
+
+impl Scale {
+    /// Default sizing: completes `figures all` in minutes.
+    pub fn quick() -> Self {
+        Self {
+            base_scale: 12,
+            chunk_bytes: 32 * 1024,
+            mem_budget: 256 * 1024,
+            machines: &[1, 2, 4, 8, 16, 32],
+            all_algorithms: true,
+        }
+    }
+
+    /// `--full` sizing: closer to the paper's relative magnitudes.
+    pub fn full() -> Self {
+        Self {
+            base_scale: 14,
+            chunk_bytes: 64 * 1024,
+            mem_budget: 1 << 20,
+            machines: &[1, 2, 4, 8, 16, 32],
+            all_algorithms: true,
+        }
+    }
+}
+
+/// Cached-graph experiment driver.
+pub struct Harness {
+    /// Active sizing.
+    pub scale: Scale,
+    /// Algorithm knobs (PR/BP iterations, seeds, roots).
+    pub params: AlgoParams,
+    graphs: Rc<RefCell<HashMap<(u32, bool, bool), Rc<InputGraph>>>>,
+    webgraphs: Rc<RefCell<HashMap<(u64, bool), Rc<InputGraph>>>>,
+    start: Instant,
+}
+
+impl Harness {
+    /// Creates a harness with the given sizing.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            params: AlgoParams::default(),
+            graphs: Rc::new(RefCell::new(HashMap::new())),
+            webgraphs: Rc::new(RefCell::new(HashMap::new())),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall-clock seconds since harness creation.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// RMAT graph at `scale`, shaped for the named algorithm (undirected
+    /// expansion and/or weights per Table 1), memoized.
+    pub fn rmat_for(&self, scale: u32, algo: &str) -> Rc<InputGraph> {
+        let undirected = needs_undirected(algo);
+        let weighted = needs_weights(algo);
+        let key = (scale, undirected, weighted);
+        if let Some(g) = self.graphs.borrow().get(&key) {
+            return Rc::clone(g);
+        }
+        let cfg = if weighted {
+            RmatConfig::paper_weighted(scale)
+        } else {
+            RmatConfig::paper(scale)
+        };
+        let mut g = cfg.generate();
+        if undirected {
+            g = g.to_undirected();
+        }
+        let g = Rc::new(g);
+        self.graphs.borrow_mut().insert(key, Rc::clone(&g));
+        g
+    }
+
+    /// Synthetic web graph (the Data Commons stand-in), memoized.
+    pub fn webgraph(&self, pages: u64, undirected: bool) -> Rc<InputGraph> {
+        let key = (pages, undirected);
+        if let Some(g) = self.webgraphs.borrow().get(&key) {
+            return Rc::clone(g);
+        }
+        let mut g = WebGraphConfig::scaled(pages).generate();
+        if undirected {
+            g = g.to_undirected();
+        }
+        let g = Rc::new(g);
+        self.webgraphs.borrow_mut().insert(key, Rc::clone(&g));
+        g
+    }
+
+    /// Base engine config for `machines`, with the harness chunk/memory
+    /// sizing applied.
+    pub fn config(&self, machines: usize) -> ChaosConfig {
+        let mut cfg = ChaosConfig::new(machines);
+        cfg.chunk_bytes = self.scale.chunk_bytes;
+        cfg.mem_budget = self.scale.mem_budget;
+        cfg
+    }
+
+    /// Runs the named algorithm on `graph` under `cfg`.
+    pub fn run(&self, algo: &str, cfg: ChaosConfig, graph: &InputGraph) -> RunReport {
+        with_algo!(algo, &self.params, |p| run_chaos(cfg, p, graph).0)
+    }
+
+    /// The algorithm set for all-algorithm figures, cheap ones first.
+    pub fn algorithms(&self) -> Vec<&'static str> {
+        if self.scale.all_algorithms {
+            vec![
+                "BFS", "WCC", "MCST", "MIS", "SSSP", "SCC", "PR", "Cond", "SpMV", "BP",
+            ]
+        } else {
+            vec!["BFS", "WCC", "PR", "Cond", "SpMV", "BP"]
+        }
+    }
+}
+
+/// Prints a header for one experiment.
+pub fn banner(id: &str, what: &str) {
+    println!("\n==================================================================");
+    println!("{id}: {what}");
+    println!("==================================================================");
+}
+
+/// Formats a row of fixed-width cells.
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>10}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

@@ -1,0 +1,83 @@
+//! Request batching theory (§6.5).
+//!
+//! To keep all storage engines busy, every computation engine keeps a
+//! window of φk requests outstanding to *distinct* randomly chosen storage
+//! engines. The utilization formulas here are Equations 4 and 5 of the
+//! paper and drive Figure 5; the engine itself uses the window mechanism in
+//! `compute` and the sweep in the Figure 16 harness validates the sweet
+//! spot empirically.
+
+/// Theoretical utilization of a storage engine with `m` machines each
+/// keeping `k` requests outstanding (Equation 4):
+/// `ρ(m, k) = 1 − (1 − k/m)^m`.
+///
+/// For `k >= m` every engine is trivially busy (utilization 1).
+pub fn utilization(m: usize, k: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    if k >= m {
+        return 1.0;
+    }
+    1.0 - (1.0 - k as f64 / m as f64).powi(m as i32)
+}
+
+/// The `m → ∞` lower bound of Equation 5: `1 − e^{-k}`.
+pub fn utilization_floor(k: usize) -> f64 {
+    1.0 - (-(k as f64)).exp()
+}
+
+/// Smallest `k` whose asymptotic utilization meets `target`.
+///
+/// # Panics
+///
+/// Panics if `target >= 1.0` (unreachable by any finite window).
+pub fn window_for_target(target: f64) -> usize {
+    assert!(target < 1.0, "utilization 1.0 needs an unbounded window");
+    let mut k = 1;
+    while utilization_floor(k) < target {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_examples() {
+        // "using k = 5 means that the utilization cannot drop below 99.3%".
+        assert!(utilization_floor(5) > 0.993);
+        // "This means an utilization of 99.56% with 32 machines".
+        assert!((utilization(32, 5) - 0.9956).abs() < 5e-4);
+    }
+
+    #[test]
+    fn monotonic_in_k_and_decreasing_in_m() {
+        for m in [2usize, 8, 32] {
+            for k in 1..m - 1 {
+                // Weak inequality: for large k both sides round to 1.0 in
+                // f64 (e.g. ρ(32, 30) = 1 − (2/32)^32).
+                assert!(utilization(m, k) <= utilization(m, k + 1));
+            }
+            assert!(utilization(m, 1) < utilization(m, 2.min(m - 1).max(1)) + 1e-12);
+        }
+        for k in [1usize, 2, 3, 5] {
+            assert!(utilization(8, k) > utilization(16, k));
+            assert!(utilization(16, k) > utilization_floor(k));
+        }
+    }
+
+    #[test]
+    fn saturated_window() {
+        assert_eq!(utilization(4, 4), 1.0);
+        assert_eq!(utilization(4, 9), 1.0);
+    }
+
+    #[test]
+    fn window_for_target_inverts_floor() {
+        assert_eq!(window_for_target(0.99), 5);
+        assert!(utilization_floor(window_for_target(0.999)) >= 0.999);
+    }
+}

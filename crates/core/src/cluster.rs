@@ -1,0 +1,283 @@
+//! The simulated cluster: wiring, event loop and run reports.
+//!
+//! A [`Cluster`] owns one computation engine and one storage engine per
+//! machine (Figure 6), the barrier coordinator, the optional centralized
+//! directory, the fabric model and the event queue. `run()` executes the
+//! whole computation — pre-processing from the unsorted edge list through
+//! convergence — on the virtual clock and returns a [`RunReport`].
+//!
+//! The run is deterministic: same (config, program, graph) ⇒ same final
+//! vertex states *and* same simulated completion time.
+
+use std::sync::Arc;
+
+use chaos_gas::GasProgram;
+use chaos_graph::{InputGraph, PartitionSpec, SizeModel};
+use chaos_net::Fabric;
+use chaos_sim::{EventQueue, Rng};
+use chaos_storage::Device;
+
+use crate::compute_engine::ComputeEngine;
+use crate::config::{ChaosConfig, Placement};
+use crate::coordinator::Coordinator;
+use crate::directory::Directory;
+use crate::metrics::RunReport;
+use crate::msg::{DataKind, Msg};
+use crate::runtime::{Addr, Ctx, RunParams, Send as OutSend};
+use crate::storage_engine::StorageEngine;
+
+struct Envelope<P: GasProgram> {
+    gen: u32,
+    msg: Msg<P>,
+}
+
+/// A fully wired simulated Chaos cluster, ready to run one computation.
+pub struct Cluster<P: GasProgram> {
+    cfg: Arc<ChaosConfig>,
+    params: Arc<RunParams>,
+    queue: EventQueue<Envelope<P>>,
+    fabric: Fabric,
+    computes: Vec<ComputeEngine<P>>,
+    storages: Vec<StorageEngine<P>>,
+    coordinator: Coordinator<P>,
+    directory: Directory<P>,
+    started: bool,
+    /// Safety valve for the event loop (a wedged protocol would otherwise
+    /// spin forever); generously above any legitimate run.
+    pub max_events: u64,
+}
+
+impl<P: GasProgram> Cluster<P> {
+    /// Builds a cluster for `(config, program, graph)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if the configuration is
+    /// invalid or inconsistent with the program (e.g. centralized placement
+    /// with reverse-edge programs).
+    pub fn new(cfg: ChaosConfig, program: P, graph: &InputGraph) -> Result<Self, String> {
+        cfg.validate()?;
+        if cfg.placement == Placement::Centralized && program.uses_reverse_edges() {
+            return Err("centralized directory does not support reverse-edge programs".into());
+        }
+        let sizes = SizeModel::for_graph(graph.num_vertices, graph.weighted);
+        let vstate = program.vertex_state_bytes().max(1);
+        let update_bytes = sizes.update_bytes(program.update_payload_bytes());
+        let spec = PartitionSpec::for_memory(
+            graph.num_vertices.max(1),
+            vstate,
+            cfg.mem_budget,
+            cfg.machines,
+        );
+        let params = Arc::new(RunParams::new(
+            &cfg,
+            spec,
+            sizes.edge_bytes(),
+            update_bytes,
+            vstate,
+        ));
+        let cfg = Arc::new(cfg);
+        let mut rng = Rng::new(cfg.seed);
+        let fabric = Fabric::new(cfg.fabric.clone());
+        let computes: Vec<ComputeEngine<P>> = (0..cfg.machines)
+            .map(|i| {
+                ComputeEngine::new(
+                    i,
+                    Arc::clone(&cfg),
+                    Arc::clone(&params),
+                    program.clone(),
+                    rng.derive(1000 + i as u64),
+                )
+            })
+            .collect();
+        let mut storages: Vec<StorageEngine<P>> = (0..cfg.machines)
+            .map(|i| {
+                StorageEngine::new(
+                    i,
+                    Arc::clone(&params),
+                    Device::new(cfg.device),
+                    cfg.pagecache_bytes,
+                    cfg.spill_dir.as_deref(),
+                )
+            })
+            .collect();
+        let mut directory = Directory::new(cfg.machines, cfg.directory_op_ns);
+        // Distribute the unsorted input edge list randomly over all storage
+        // devices (§8).
+        for chunk in graph.edges.chunks(params.edges_per_chunk.max(1)) {
+            let engine = rng.below(cfg.machines as u64) as usize;
+            storages[engine].preload_input(Arc::new(chunk.to_vec()));
+            if cfg.placement == Placement::Centralized {
+                directory.preregister(DataKind::Input, 0, engine);
+            }
+        }
+        let coordinator = Coordinator::new(
+            cfg.machines,
+            program,
+            cfg.failure,
+            cfg.placement == Placement::Centralized,
+        );
+        Ok(Self {
+            params,
+            queue: EventQueue::new(),
+            fabric,
+            computes,
+            storages,
+            coordinator,
+            directory,
+            started: false,
+            max_events: 20_000_000_000,
+            cfg,
+        })
+    }
+
+    /// The derived run parameters (partition layout, chunk geometry).
+    pub fn params(&self) -> &RunParams {
+        &self.params
+    }
+
+    fn actor_gen(&self, addr: Addr) -> u32 {
+        match addr {
+            Addr::Compute(i) => self.computes[i].gen,
+            Addr::Storage(i) => self.storages[i].gen,
+            Addr::Coordinator => self.coordinator.gen,
+            Addr::Directory => 0,
+        }
+    }
+
+    fn dispatch(&mut self, addr: Addr, ctx: &mut Ctx<P>, msg: Msg<P>) {
+        match addr {
+            Addr::Compute(i) => self.computes[i].handle(ctx, msg),
+            Addr::Storage(i) => self.storages[i].handle(ctx, msg),
+            Addr::Coordinator => self.coordinator.handle(ctx, msg),
+            Addr::Directory => self.directory.handle(ctx, msg),
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<P>) {
+        let m = self.cfg.machines;
+        for s in ctx.take() {
+            match s {
+                OutSend::Net {
+                    from,
+                    to,
+                    bytes,
+                    msg,
+                } => {
+                    let arrival = self.fabric.send(ctx.now, from, to.machine(), bytes);
+                    self.queue.push(
+                        arrival,
+                        to.index(m),
+                        Envelope { gen: ctx.gen, msg },
+                    );
+                }
+                OutSend::At { at, to, msg } => {
+                    self.queue
+                        .push(at, to.index(m), Envelope { gen: ctx.gen, msg });
+                }
+            }
+        }
+    }
+
+    /// Runs the computation to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol wedges (event queue drained before all
+    /// engines finished) or the event budget is exceeded — both indicate a
+    /// bug, not a user error.
+    pub fn run(&mut self) -> RunReport {
+        assert!(!self.started, "a cluster instance runs exactly once");
+        self.started = true;
+        let m = self.cfg.machines;
+        // Kick off pre-processing on every machine at t = 0.
+        for i in 0..m {
+            let mut ctx = Ctx::new(0, 0);
+            self.computes[i].start(&mut ctx);
+            self.drain(&mut ctx);
+        }
+        while let Some(ev) = self.queue.pop() {
+            assert!(
+                self.queue.delivered() < self.max_events,
+                "event budget exceeded; protocol likely wedged"
+            );
+            let addr = Addr::from_index(ev.dst, m);
+            let actor_gen = self.actor_gen(addr);
+            if ev.msg.gen < actor_gen {
+                continue; // Stale pre-abort message.
+            }
+            let mut ctx = Ctx::new(ev.time, actor_gen.max(ev.msg.gen));
+            self.dispatch(addr, &mut ctx, ev.msg.msg);
+            self.drain(&mut ctx);
+        }
+        assert!(
+            self.coordinator.done && self.computes.iter().all(|c| c.is_done()),
+            "event queue drained before completion: protocol deadlock"
+        );
+        self.report()
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            runtime: self.queue.now(),
+            preprocess_time: self.coordinator.preprocess_end,
+            iterations: self.coordinator.history.len() as u32,
+            iteration_aggs: self.coordinator.history.clone(),
+            breakdowns: self.computes.iter().map(|c| c.breakdown).collect(),
+            devices: self.storages.iter().map(|s| s.device.stats()).collect(),
+            device_busy: self
+                .storages
+                .iter()
+                .map(|s| s.device.busy_time())
+                .collect(),
+            fabric: self.fabric.stats(),
+            steals: self.computes.iter().map(|c| c.steals).sum(),
+            partitions: self.params.spec.num_partitions,
+            events: self.queue.delivered(),
+        }
+    }
+
+    /// Collects the final vertex states from storage (masters wrote them
+    /// back during the last gather), in vertex-id order.
+    pub fn final_states(&self) -> Vec<P::VertexState> {
+        self.collect(|s, part, no| s.vertex_chunk(part, no))
+    }
+
+    /// Collects the last committed checkpoint, in vertex-id order.
+    pub fn checkpoint_states(&self) -> Vec<P::VertexState> {
+        self.collect(|s, part, no| s.checkpoint_chunk(part, no))
+    }
+
+    fn collect(
+        &self,
+        get: impl Fn(&StorageEngine<P>, usize, u32) -> Option<Arc<Vec<P::VertexState>>>,
+    ) -> Vec<P::VertexState> {
+        let mut out = Vec::with_capacity(self.params.spec.num_vertices as usize);
+        for part in 0..self.params.spec.num_partitions {
+            for no in 0..self.params.vertex_chunks(part) {
+                let home = self.params.vertex_home(part, no);
+                let chunk = get(&self.storages[home], part, no)
+                    .expect("vertex chunk present at its home engine");
+                out.extend(chunk.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+/// Convenience wrapper: build, run, and return `(report, final states)`.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration; use [`Cluster::new`] for fallible
+/// construction.
+pub fn run_chaos<P: GasProgram>(
+    cfg: ChaosConfig,
+    program: P,
+    graph: &InputGraph,
+) -> (RunReport, Vec<P::VertexState>) {
+    let mut cluster = Cluster::new(cfg, program, graph).expect("valid configuration");
+    let report = cluster.run();
+    let states = cluster.final_states();
+    (report, states)
+}

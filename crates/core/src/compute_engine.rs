@@ -1,0 +1,1635 @@
+//! The computation engine actor (§5 of the paper, Figure 4).
+//!
+//! One computation engine runs per machine. Per iteration it executes the
+//! scatter phase over its own partitions, then steals from other masters;
+//! after the scatter barrier it executes gather (+ apply) the same way.
+//! All storage access goes through the chunk protocol with a window of φk
+//! outstanding requests to distinct, randomly chosen storage engines
+//! (§6.5). The steal criterion is Equation 2 with the α bias of §10.2.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use chaos_gas::{Direction, GasProgram, IterationAggregates, Update};
+use chaos_graph::Edge;
+use chaos_sim::{Resource, Rng, Time};
+
+use crate::config::{ChaosConfig, Placement};
+use crate::metrics::Breakdown;
+use crate::msg::{DataKind, Msg, PhaseKind, Work, WriteKind, CONTROL_BYTES};
+use crate::runtime::{Addr, Ctx, RunParams};
+
+/// Progress of one partition being streamed (scatter or gather).
+struct PartWork<P: GasProgram> {
+    part: usize,
+    stolen: bool,
+    started: Time,
+    vertices: Vec<P::VertexState>,
+    vchunks_pending: u32,
+    loaded: bool,
+    loaded_at: Time,
+    /// Gather-side accumulators (one per vertex of the partition).
+    accums: Vec<P::Accum>,
+    /// Scatter-side update output buffers, one per destination partition.
+    out_bufs: Vec<Vec<Update<P::Update>>>,
+    outstanding: usize,
+    requested: Vec<bool>,
+    exhausted: Vec<bool>,
+    exhausted_count: usize,
+    inflight_compute: usize,
+    /// Centralized placement: the directory reported global exhaustion.
+    dir_exhausted: bool,
+}
+
+impl<P: GasProgram> PartWork<P> {
+    fn new(part: usize, stolen: bool, now: Time, machines: usize, parts: usize) -> Self {
+        Self {
+            part,
+            stolen,
+            started: now,
+            vertices: Vec::new(),
+            vchunks_pending: 0,
+            loaded: false,
+            loaded_at: now,
+            accums: Vec::new(),
+            out_bufs: (0..parts).map(|_| Vec::new()).collect(),
+            outstanding: 0,
+            requested: vec![false; machines],
+            exhausted: vec![false; machines],
+            exhausted_count: 0,
+            inflight_compute: 0,
+            dir_exhausted: false,
+        }
+    }
+
+    fn stream_done(&self, machines: usize) -> bool {
+        let exhausted = self.dir_exhausted || self.exhausted_count == machines;
+        self.loaded && exhausted && self.outstanding == 0 && self.inflight_compute == 0
+    }
+}
+
+/// Master-side wait for stealer accumulators, then apply.
+struct GatherFinish<P: GasProgram> {
+    part: usize,
+    vertices: Vec<P::VertexState>,
+    accums: Vec<P::Accum>,
+    collected: Vec<Arc<Vec<P::Accum>>>,
+    awaiting: usize,
+    wait_started: Time,
+    applying: bool,
+}
+
+/// Steal-scan progress for the current phase.
+///
+/// Proposals fan out to all candidate masters concurrently (one message
+/// each); accepted partitions queue up and are worked one at a time. The
+/// paper describes a sequential scan, but at scaled-down graph sizes the
+/// per-proposal round trips would dominate the very imbalance stealing
+/// removes; the fan-out preserves the protocol's semantics (each master
+/// still applies the §5.4 criterion per proposal).
+struct StealScan {
+    candidates: Vec<usize>,
+    started: bool,
+    awaiting: HashSet<usize>,
+    accepted: VecDeque<usize>,
+}
+
+impl StealScan {
+    fn idle() -> Self {
+        Self {
+            candidates: Vec::new(),
+            started: true,
+            awaiting: HashSet::new(),
+            accepted: VecDeque::new(),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.started && self.awaiting.is_empty() && self.accepted.is_empty()
+    }
+}
+
+/// Pre-processing progress.
+struct Preprocess<P: GasProgram> {
+    outstanding: usize,
+    requested: Vec<bool>,
+    exhausted: Vec<bool>,
+    exhausted_count: usize,
+    dir_exhausted: bool,
+    inflight_compute: usize,
+    edge_bufs: Vec<Vec<Edge>>,
+    redge_bufs: Vec<Vec<Edge>>,
+    degree_maps: Vec<HashMap<u64, u32>>,
+    degree_acks_pending: usize,
+    flushed: bool,
+    _marker: std::marker::PhantomData<P>,
+}
+
+/// Checkpoint progress at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CkptState {
+    Idle,
+    Copy(usize),
+    Commit(usize),
+    Done,
+}
+
+/// Pending write under centralized placement, waiting for a directory
+/// placement decision.
+enum PendingDirWrite<P: GasProgram> {
+    Edges {
+        part: usize,
+        reverse: bool,
+        data: Arc<Vec<Edge>>,
+    },
+    Updates {
+        part: usize,
+        data: Arc<Vec<Update<P::Update>>>,
+    },
+}
+
+/// The computation engine of one machine.
+pub struct ComputeEngine<P: GasProgram> {
+    machine: usize,
+    cfg: Arc<ChaosConfig>,
+    params: Arc<RunParams>,
+    program: P,
+    rng: Rng,
+    cpu: Resource,
+    /// Protocol generation for failure recovery.
+    pub gen: u32,
+
+    phase: PhaseKind,
+    iter: u32,
+    my_parts: Vec<usize>,
+
+    pp: Preprocess<P>,
+    /// Master-side dense degree vectors, per owned partition.
+    degrees: HashMap<usize, Vec<u32>>,
+
+    own_queue: VecDeque<usize>,
+    work: Option<PartWork<P>>,
+    scan: StealScan,
+    gather_finish: Option<GatherFinish<P>>,
+    waiting_getaccums: Option<(usize, Arc<Vec<P::Accum>>)>,
+    pending_getaccums: HashSet<usize>,
+    /// Stealers accepted per owned partition, this phase.
+    stealers: HashMap<usize, Vec<usize>>,
+    /// Proposers queued for a remaining-bytes query, per partition.
+    steal_queries: HashMap<usize, VecDeque<usize>>,
+    /// Whether a RemainingReq is in flight for a partition.
+    query_inflight: HashSet<usize>,
+
+    pending_write_acks: usize,
+    pending_inits: usize,
+    ckpt: CkptState,
+    pending_dir_writes: VecDeque<PendingDirWrite<P>>,
+
+    agg: IterationAggregates,
+    barrier_sent: bool,
+    arrive_time: Time,
+    getaccums_wait_since: Time,
+    /// Per-machine Figure 17 breakdown.
+    pub breakdown: Breakdown,
+    /// Stolen-partition count (metrics).
+    pub steals: u64,
+    done: bool,
+}
+
+impl<P: GasProgram> ComputeEngine<P> {
+    /// Creates the engine for `machine`, owning the round-robin partitions.
+    pub fn new(
+        machine: usize,
+        cfg: Arc<ChaosConfig>,
+        params: Arc<RunParams>,
+        program: P,
+        rng: Rng,
+    ) -> Self {
+        let parts = params.spec.num_partitions;
+        let my_parts: Vec<usize> = (0..parts)
+            .filter(|p| params.master(*p) == machine)
+            .collect();
+        let m = cfg.machines;
+        let cpu = Resource::new(cfg.cores as u64 * 1_000_000_000, 0);
+        Self {
+            machine,
+            params,
+            program,
+            rng,
+            cpu,
+            gen: 0,
+            phase: PhaseKind::Preprocess,
+            iter: 0,
+            pp: Preprocess {
+                outstanding: 0,
+                requested: vec![false; m],
+                exhausted: vec![false; m],
+                exhausted_count: 0,
+                dir_exhausted: false,
+                inflight_compute: 0,
+                edge_bufs: (0..parts).map(|_| Vec::new()).collect(),
+                redge_bufs: (0..parts).map(|_| Vec::new()).collect(),
+                degree_maps: (0..parts).map(|_| HashMap::new()).collect(),
+                degree_acks_pending: 0,
+                flushed: false,
+                _marker: std::marker::PhantomData,
+            },
+            degrees: HashMap::new(),
+            my_parts,
+            own_queue: VecDeque::new(),
+            work: None,
+            scan: StealScan::idle(),
+            gather_finish: None,
+            waiting_getaccums: None,
+            pending_getaccums: HashSet::new(),
+            stealers: HashMap::new(),
+            steal_queries: HashMap::new(),
+            query_inflight: HashSet::new(),
+            pending_write_acks: 0,
+            pending_inits: 0,
+            ckpt: CkptState::Idle,
+            pending_dir_writes: VecDeque::new(),
+            agg: IterationAggregates::default(),
+            barrier_sent: false,
+            arrive_time: 0,
+            getaccums_wait_since: 0,
+            breakdown: Breakdown::default(),
+            steals: 0,
+            done: false,
+            cfg,
+        }
+    }
+
+    /// Whether the engine finished the whole computation.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// A reference to this engine's program (phase state is kept in sync
+    /// across machines via the barrier protocol).
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    fn m(&self) -> usize {
+        self.cfg.machines
+    }
+
+    fn centralized(&self) -> bool {
+        self.cfg.placement == Placement::Centralized
+    }
+
+    /// CPU cost in core-nanosecond units for processing `records` records.
+    fn chunk_cost(&self, records: usize) -> u64 {
+        records as u64 * self.cfg.ns_per_record + self.cfg.msg_cpu_ns
+    }
+
+    /// Schedules CPU work, returning nothing; completion arrives as
+    /// [`Msg::Processed`].
+    fn schedule_work(&mut self, ctx: &mut Ctx<P>, cost_units: u64, work: Work<P>) {
+        let done = self.cpu.serve(ctx.now, cost_units);
+        ctx.at(done, Addr::Compute(self.machine), Msg::Processed { work });
+    }
+
+    /// Which edge structure the current scatter direction streams.
+    fn scatter_kind(&self) -> DataKind {
+        match self.program.direction() {
+            Direction::Out => DataKind::Edges,
+            Direction::In => DataKind::EdgesReverse,
+        }
+    }
+
+    /// The data kind streamed in the given phase.
+    fn phase_kind_data(&self, phase: PhaseKind) -> DataKind {
+        match phase {
+            PhaseKind::Scatter => self.scatter_kind(),
+            PhaseKind::Gather => DataKind::Updates,
+            _ => DataKind::Input,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pre-processing
+    // ------------------------------------------------------------------
+
+    /// Kicks off pre-processing (called once by the cluster at t=0).
+    pub fn start(&mut self, ctx: &mut Ctx<P>) {
+        self.phase = PhaseKind::Preprocess;
+        self.pump_input(ctx);
+        self.maybe_finish_preprocess(ctx);
+    }
+
+    fn pump_input(&mut self, ctx: &mut Ctx<P>) {
+        while self.pp.outstanding < self.params.window {
+            if self.centralized() {
+                if self.pp.dir_exhausted {
+                    break;
+                }
+                ctx.send(
+                    self.machine,
+                    Addr::Directory,
+                    Msg::DirRead {
+                        part: 0,
+                        kind: DataKind::Input,
+                        from: self.machine,
+                    },
+                    CONTROL_BYTES,
+                );
+                self.pp.outstanding += 1;
+            } else {
+                let local = self.local_only_target(None);
+                let oversub = self.params.window > self.m();
+                let Some(target) = pick_engine(
+                    &mut self.rng,
+                    &self.pp.requested,
+                    &self.pp.exhausted,
+                    local,
+                    oversub,
+                ) else {
+                    break;
+                };
+                self.pp.requested[target] = true;
+                self.pp.outstanding += 1;
+                ctx.send(
+                    self.machine,
+                    Addr::Storage(target),
+                    Msg::InputChunkReq { from: self.machine },
+                    CONTROL_BYTES,
+                );
+            }
+        }
+    }
+
+    /// Under [`Placement::LocalOnly`], the only engine to talk to for a
+    /// partition (or the local engine for input).
+    fn local_only_target(&self, part: Option<usize>) -> Option<usize> {
+        if self.cfg.placement != Placement::LocalOnly {
+            return None;
+        }
+        Some(match part {
+            Some(p) => self.params.master(p),
+            None => self.machine,
+        })
+    }
+
+    fn on_input_chunk(&mut self, ctx: &mut Ctx<P>, source: Option<usize>, data: Option<Arc<Vec<Edge>>>) {
+        self.pp.outstanding -= 1;
+        if let Some(s) = source {
+            self.pp.requested[s] = false;
+        }
+        match data {
+            Some(chunk) => {
+                let cost = self.chunk_cost(chunk.len());
+                self.pp.inflight_compute += 1;
+                self.schedule_work(ctx, cost, Work::BinInputChunk { data: chunk });
+                self.pump_input(ctx);
+            }
+            None => {
+                match source {
+                    Some(s) => {
+                        if !self.pp.exhausted[s] {
+                            self.pp.exhausted[s] = true;
+                            self.pp.exhausted_count += 1;
+                        }
+                        if self.cfg.placement == Placement::LocalOnly {
+                            self.pp.dir_exhausted = true;
+                        }
+                    }
+                    None => self.pp.dir_exhausted = true,
+                }
+                self.pump_input(ctx);
+                self.maybe_finish_preprocess(ctx);
+            }
+        }
+    }
+
+    fn bin_input_chunk(&mut self, ctx: &mut Ctx<P>, data: Arc<Vec<Edge>>) {
+        let reverse_too = self.program.uses_reverse_edges();
+        for e in data.iter() {
+            let p = self.params.spec.partition_of(e.src);
+            *self.pp.degree_maps[p].entry(e.src).or_insert(0) += 1;
+            self.pp.edge_bufs[p].push(*e);
+            if self.pp.edge_bufs[p].len() >= self.params.edges_per_chunk {
+                let chunk = Arc::new(std::mem::take(&mut self.pp.edge_bufs[p]));
+                self.write_edges(ctx, p, false, chunk);
+            }
+            if reverse_too {
+                let rp = self.params.spec.partition_of(e.dst);
+                self.pp.redge_bufs[rp].push(*e);
+                if self.pp.redge_bufs[rp].len() >= self.params.edges_per_chunk {
+                    let chunk = Arc::new(std::mem::take(&mut self.pp.redge_bufs[rp]));
+                    self.write_edges(ctx, rp, true, chunk);
+                }
+            }
+        }
+        self.pp.inflight_compute -= 1;
+        self.maybe_finish_preprocess(ctx);
+    }
+
+    fn write_edges(&mut self, ctx: &mut Ctx<P>, part: usize, reverse: bool, data: Arc<Vec<Edge>>) {
+        self.pending_write_acks += 1;
+        if self.centralized() {
+            self.pending_dir_writes.push_back(PendingDirWrite::Edges {
+                part,
+                reverse,
+                data,
+            });
+            ctx.send(
+                self.machine,
+                Addr::Directory,
+                Msg::DirWrite {
+                    part,
+                    kind: if reverse {
+                        DataKind::EdgesReverse
+                    } else {
+                        DataKind::Edges
+                    },
+                    from: self.machine,
+                },
+                CONTROL_BYTES,
+            );
+            return;
+        }
+        let target = self
+            .local_only_target(Some(part))
+            .unwrap_or_else(|| self.rng.below(self.m() as u64) as usize);
+        let bytes = data.len() as u64 * self.params.edge_bytes;
+        ctx.send(
+            self.machine,
+            Addr::Storage(target),
+            Msg::WriteEdgeChunk {
+                part,
+                reverse,
+                data,
+                from: self.machine,
+            },
+            bytes + CONTROL_BYTES,
+        );
+    }
+
+    fn input_exhausted(&self) -> bool {
+        self.pp.dir_exhausted || self.pp.exhausted_count == self.m()
+    }
+
+    fn maybe_finish_preprocess(&mut self, ctx: &mut Ctx<P>) {
+        if self.phase != PhaseKind::Preprocess || self.barrier_sent {
+            return;
+        }
+        if !(self.input_exhausted() && self.pp.outstanding == 0 && self.pp.inflight_compute == 0)
+        {
+            return;
+        }
+        if !self.pp.flushed {
+            self.pp.flushed = true;
+            // Flush partial edge buffers.
+            for p in 0..self.params.spec.num_partitions {
+                if !self.pp.edge_bufs[p].is_empty() {
+                    let chunk = Arc::new(std::mem::take(&mut self.pp.edge_bufs[p]));
+                    self.write_edges(ctx, p, false, chunk);
+                }
+                if !self.pp.redge_bufs[p].is_empty() {
+                    let chunk = Arc::new(std::mem::take(&mut self.pp.redge_bufs[p]));
+                    self.write_edges(ctx, p, true, chunk);
+                }
+            }
+            // Ship partial degree counts to partition masters.
+            for p in 0..self.params.spec.num_partitions {
+                if self.pp.degree_maps[p].is_empty() {
+                    continue;
+                }
+                let entries: Vec<(u64, u32)> =
+                    std::mem::take(&mut self.pp.degree_maps[p]).into_iter().collect();
+                let bytes = entries.len() as u64 * 12 + CONTROL_BYTES;
+                self.pp.degree_acks_pending += 1;
+                ctx.send(
+                    self.machine,
+                    Addr::Compute(self.params.master(p)),
+                    Msg::DegreeContrib {
+                        part: p,
+                        counts: Arc::new(entries),
+                        from: self.machine,
+                    },
+                    bytes,
+                );
+            }
+        }
+        if self.pending_write_acks == 0 && self.pp.degree_acks_pending == 0 {
+            self.arrive_barrier(ctx);
+        }
+    }
+
+    fn on_degree_contrib(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        counts: &[(u64, u32)],
+        from: usize,
+    ) {
+        debug_assert_eq!(self.params.master(part), self.machine);
+        let len = self.params.spec.len(part) as usize;
+        let base = self.params.spec.range(part).start;
+        let dv = self
+            .degrees
+            .entry(part)
+            .or_insert_with(|| vec![0u32; len]);
+        for &(vid, c) in counts {
+            dv[(vid - base) as usize] += c;
+        }
+        ctx.send(
+            self.machine,
+            Addr::Compute(from),
+            Msg::DegreeAck,
+            CONTROL_BYTES,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Vertex initialization
+    // ------------------------------------------------------------------
+
+    fn start_vertex_init(&mut self, ctx: &mut Ctx<P>) {
+        self.phase = PhaseKind::VertexInit;
+        self.barrier_sent = false;
+        self.pending_inits = self.my_parts.len();
+        if self.pending_inits == 0 {
+            self.arrive_barrier(ctx);
+            return;
+        }
+        for part in self.my_parts.clone() {
+            let records = self.params.spec.len(part);
+            let cost = records * self.cfg.ns_per_record + self.cfg.msg_cpu_ns;
+            self.schedule_work(ctx, cost, Work::InitPartition { part });
+        }
+    }
+
+    fn init_partition(&mut self, ctx: &mut Ctx<P>, part: usize) {
+        let range = self.params.spec.range(part);
+        let base = range.start;
+        let dv = self.degrees.get(&part);
+        let states: Vec<P::VertexState> = range
+            .clone()
+            .map(|v| {
+                let deg = dv
+                    .and_then(|d| d.get((v - base) as usize))
+                    .copied()
+                    .unwrap_or(0) as u64;
+                self.program.init(v, deg)
+            })
+            .collect();
+        self.write_vertex_set(ctx, part, &states);
+        self.pending_inits -= 1;
+        self.maybe_arrive_simple(ctx);
+    }
+
+    /// Writes a full vertex set as chunks to their home engines.
+    fn write_vertex_set(&mut self, ctx: &mut Ctx<P>, part: usize, states: &[P::VertexState]) {
+        for c in 0..self.params.vertex_chunks(part) {
+            let rows = self.params.vertex_chunk_rows(part, c);
+            let data = Arc::new(states[rows].to_vec());
+            let bytes = data.len() as u64 * self.params.vstate_bytes;
+            let home = self.params.vertex_home(part, c);
+            self.pending_write_acks += 1;
+            ctx.send(
+                self.machine,
+                Addr::Storage(home),
+                Msg::WriteVertexChunk {
+                    part,
+                    chunk_no: c,
+                    data,
+                    from: self.machine,
+                },
+                bytes + CONTROL_BYTES,
+            );
+        }
+    }
+
+    /// VertexInit barrier check.
+    fn maybe_arrive_simple(&mut self, ctx: &mut Ctx<P>) {
+        if self.phase == PhaseKind::VertexInit
+            && !self.barrier_sent
+            && self.pending_inits == 0
+            && self.pending_write_acks == 0
+        {
+            self.arrive_barrier(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scatter / gather phase driving
+    // ------------------------------------------------------------------
+
+    fn start_phase(&mut self, ctx: &mut Ctx<P>, phase: PhaseKind, iter: u32) {
+        self.phase = phase;
+        self.iter = iter;
+        self.barrier_sent = false;
+        self.ckpt = CkptState::Idle;
+        self.own_queue = self.my_parts.iter().copied().collect();
+        self.stealers.clear();
+        self.steal_queries.clear();
+        self.query_inflight.clear();
+        self.pending_getaccums.clear();
+        // Steal-scan candidates: every partition not owned by us, visited
+        // in random order (§5.3).
+        let mut cands: Vec<usize> = (0..self.params.spec.num_partitions)
+            .filter(|p| self.params.master(*p) != self.machine)
+            .collect();
+        self.rng.shuffle(&mut cands);
+        self.scan = StealScan {
+            candidates: cands,
+            started: false,
+            awaiting: HashSet::new(),
+            accepted: VecDeque::new(),
+        };
+        self.advance(ctx);
+    }
+
+    /// Moves to the next unit of work: own partitions first, then stealing,
+    /// then the barrier.
+    fn advance(&mut self, ctx: &mut Ctx<P>) {
+        if self.done
+            || self.barrier_sent
+            || self.work.is_some()
+            || self.gather_finish.is_some()
+            || self.waiting_getaccums.is_some()
+        {
+            return;
+        }
+        if let Some(p) = self.own_queue.pop_front() {
+            self.start_partition(ctx, p, false);
+            return;
+        }
+        // Steal scan: fan out one proposal per foreign partition.
+        if !self.scan.started {
+            self.scan.started = true;
+            if self.cfg.steal_alpha != 0.0 {
+                for p in self.scan.candidates.clone() {
+                    self.scan.awaiting.insert(p);
+                    ctx.send(
+                        self.machine,
+                        Addr::Compute(self.params.master(p)),
+                        Msg::StealPropose {
+                            part: p,
+                            phase: self.phase,
+                            from: self.machine,
+                        },
+                        CONTROL_BYTES,
+                    );
+                }
+            }
+        }
+        if let Some(p) = self.scan.accepted.pop_front() {
+            self.start_partition(ctx, p, true);
+            return;
+        }
+        if self.scan.finished() {
+            self.maybe_barrier(ctx);
+        }
+    }
+
+    fn start_partition(&mut self, ctx: &mut Ctx<P>, part: usize, stolen: bool) {
+        debug_assert!(self.work.is_none());
+        let mut w = PartWork::new(part, stolen, ctx.now, self.m(), self.params.spec.num_partitions);
+        let n = self.params.spec.len(part) as usize;
+        w.vertices = vec![P::VertexState::default(); n];
+        if self.phase == PhaseKind::Gather {
+            w.accums = vec![P::Accum::default(); n];
+        }
+        if stolen {
+            self.steals += 1;
+        }
+        let chunks = self.params.vertex_chunks(part);
+        w.vchunks_pending = chunks;
+        if chunks == 0 {
+            w.loaded = true;
+            w.loaded_at = ctx.now;
+        }
+        self.work = Some(w);
+        for c in 0..chunks {
+            let home = self.params.vertex_home(part, c);
+            ctx.send(
+                self.machine,
+                Addr::Storage(home),
+                Msg::VertexChunkReq {
+                    part,
+                    chunk_no: c,
+                    from: self.machine,
+                },
+                CONTROL_BYTES,
+            );
+        }
+        if chunks == 0 {
+            self.pump_reads(ctx);
+            self.check_stream_done(ctx);
+        }
+    }
+
+    /// Keeps the request window full for the current partition.
+    fn pump_reads(&mut self, ctx: &mut Ctx<P>) {
+        let kind = self.phase_kind_data(self.phase);
+        let me = self.machine;
+        let m = self.m();
+        let window = self.params.window;
+        let centralized = self.centralized();
+        let local_target = self.work.as_ref().map(|w| w.part).and_then(|p| self.local_only_target(Some(p)));
+        let Some(w) = &mut self.work else {
+            return;
+        };
+        if !w.loaded {
+            return;
+        }
+        while w.outstanding < window {
+            if centralized {
+                if w.dir_exhausted {
+                    break;
+                }
+                w.outstanding += 1;
+                ctx.send(
+                    me,
+                    Addr::Directory,
+                    Msg::DirRead {
+                        part: w.part,
+                        kind,
+                        from: me,
+                    },
+                    CONTROL_BYTES,
+                );
+                continue;
+            }
+            let Some(target) =
+                pick_engine(&mut self.rng, &w.requested, &w.exhausted, local_target, window > m)
+            else {
+                break;
+            };
+            w.requested[target] = true;
+            w.outstanding += 1;
+            let msg = match kind {
+                DataKind::Edges => Msg::EdgeChunkReq {
+                    part: w.part,
+                    reverse: false,
+                    from: me,
+                },
+                DataKind::EdgesReverse => Msg::EdgeChunkReq {
+                    part: w.part,
+                    reverse: true,
+                    from: me,
+                },
+                DataKind::Updates => Msg::UpdateChunkReq {
+                    part: w.part,
+                    from: me,
+                },
+                DataKind::Input => unreachable!("input is handled by pump_input"),
+            };
+            ctx.send(me, Addr::Storage(target), msg, CONTROL_BYTES);
+        }
+    }
+
+    fn on_vertex_chunk(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        chunk_no: u32,
+        data: Arc<Vec<P::VertexState>>,
+    ) {
+        let rows = self.params.vertex_chunk_rows(part, chunk_no);
+        let mut loaded_now = false;
+        let mut copy_ns = 0;
+        if let Some(w) = &mut self.work {
+            if w.part != part {
+                return;
+            }
+            w.vertices[rows].clone_from_slice(&data);
+            w.vchunks_pending -= 1;
+            if w.vchunks_pending == 0 {
+                w.loaded = true;
+                w.loaded_at = ctx.now;
+                if w.stolen {
+                    copy_ns = ctx.now - w.started;
+                }
+                loaded_now = true;
+            }
+        }
+        if loaded_now {
+            self.breakdown.copy += copy_ns;
+            self.pump_reads(ctx);
+            self.check_stream_done(ctx);
+        }
+    }
+
+    /// Common handling of an edge/update chunk response.
+    fn on_stream_chunk<T>(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        source: Option<usize>,
+        data: Option<Arc<Vec<T>>>,
+        make_work: impl FnOnce(Arc<Vec<T>>) -> Work<P>,
+    ) {
+        let local_only = self.cfg.placement == Placement::LocalOnly;
+        {
+            let Some(w) = &mut self.work else {
+                return;
+            };
+            if w.part != part {
+                return;
+            }
+            w.outstanding -= 1;
+            if let Some(s) = source {
+                w.requested[s] = false;
+            }
+        }
+        match data {
+            Some(chunk) => {
+                let cost = self.chunk_cost(chunk.len());
+                if let Some(w) = &mut self.work {
+                    w.inflight_compute += 1;
+                }
+                self.schedule_work(ctx, cost, make_work(chunk));
+                self.pump_reads(ctx);
+            }
+            None => {
+                if let Some(w) = &mut self.work {
+                    match source {
+                        Some(s) => {
+                            if !w.exhausted[s] {
+                                w.exhausted[s] = true;
+                                w.exhausted_count += 1;
+                            }
+                            if local_only {
+                                w.dir_exhausted = true;
+                            }
+                        }
+                        None => w.dir_exhausted = true,
+                    }
+                }
+                self.pump_reads(ctx);
+                self.check_stream_done(ctx);
+            }
+        }
+    }
+
+    fn scatter_chunk(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Edge>>) {
+        let dir = self.program.direction();
+        let base = self.params.spec.range(part).start;
+        let mut w = self.work.take().expect("scatter work in progress");
+        debug_assert_eq!(w.part, part);
+        let mut flushes: Vec<usize> = Vec::new();
+        for e in data.iter() {
+            let (v, target) = match dir {
+                Direction::Out => (e.src, e.dst),
+                Direction::In => (e.dst, e.src),
+            };
+            let state = &w.vertices[(v - base) as usize];
+            if let Some(payload) = self.program.scatter(v, state, e, self.iter) {
+                self.agg.updates_produced += 1;
+                let tp = self.params.spec.partition_of(target);
+                w.out_bufs[tp].push(Update {
+                    dst: target,
+                    payload,
+                });
+                if w.out_bufs[tp].len() >= self.params.updates_per_chunk {
+                    flushes.push(tp);
+                }
+            }
+        }
+        w.inflight_compute -= 1;
+        let chunks: Vec<(usize, Arc<Vec<Update<P::Update>>>)> = flushes
+            .into_iter()
+            .map(|tp| (tp, Arc::new(std::mem::take(&mut w.out_bufs[tp]))))
+            .collect();
+        self.work = Some(w);
+        for (tp, chunk) in chunks {
+            self.write_updates(ctx, tp, chunk);
+        }
+        self.check_stream_done(ctx);
+    }
+
+    fn gather_chunk(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Update<P::Update>>>) {
+        let base = self.params.spec.range(part).start;
+        let mut w = self.work.take().expect("gather work in progress");
+        debug_assert_eq!(w.part, part);
+        for u in data.iter() {
+            let off = (u.dst - base) as usize;
+            self.program
+                .gather(&mut w.accums[off], u.dst, &w.vertices[off], &u.payload);
+        }
+        w.inflight_compute -= 1;
+        self.work = Some(w);
+        self.check_stream_done(ctx);
+    }
+
+    fn write_updates(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Update<P::Update>>>) {
+        if data.is_empty() {
+            return;
+        }
+        self.pending_write_acks += 1;
+        if self.centralized() {
+            self.pending_dir_writes
+                .push_back(PendingDirWrite::Updates { part, data });
+            ctx.send(
+                self.machine,
+                Addr::Directory,
+                Msg::DirWrite {
+                    part,
+                    kind: DataKind::Updates,
+                    from: self.machine,
+                },
+                CONTROL_BYTES,
+            );
+            return;
+        }
+        let target = self
+            .local_only_target(Some(part))
+            .unwrap_or_else(|| self.rng.below(self.m() as u64) as usize);
+        let bytes = data.len() as u64 * self.params.update_bytes;
+        ctx.send(
+            self.machine,
+            Addr::Storage(target),
+            Msg::WriteUpdateChunk {
+                part,
+                data,
+                from: self.machine,
+            },
+            bytes + CONTROL_BYTES,
+        );
+    }
+
+    /// Checks whether the current partition's stream is complete, and if so
+    /// finishes the partition.
+    fn check_stream_done(&mut self, ctx: &mut Ctx<P>) {
+        let centralized = self.centralized();
+        let m = self.m();
+        let Some(w) = &self.work else {
+            return;
+        };
+        if !w.stream_done(m) {
+            return;
+        }
+        let _ = centralized;
+        let part = w.part;
+        let stolen = w.stolen;
+        match self.phase {
+            PhaseKind::Scatter => {
+                // Flush partial update buffers, then the partition is done.
+                let bufs: Vec<(usize, Arc<Vec<Update<P::Update>>>)> = {
+                    let w = self.work.as_mut().expect("checked above");
+                    let mut out = Vec::new();
+                    for tp in 0..w.out_bufs.len() {
+                        if !w.out_bufs[tp].is_empty() {
+                            out.push((tp, Arc::new(std::mem::take(&mut w.out_bufs[tp]))));
+                        }
+                    }
+                    out
+                };
+                for (tp, chunk) in bufs {
+                    self.write_updates(ctx, tp, chunk);
+                }
+                let w = self.work.take().expect("checked above");
+                let gp = ctx.now - if stolen { w.loaded_at } else { w.started };
+                if stolen {
+                    self.breakdown.gp_stolen += gp;
+                } else {
+                    self.breakdown.gp_master += gp;
+                }
+                self.advance(ctx);
+            }
+            PhaseKind::Gather => {
+                let w = self.work.take().expect("checked above");
+                let gp = ctx.now - if stolen { w.loaded_at } else { w.started };
+                if stolen {
+                    self.breakdown.gp_stolen += gp;
+                } else {
+                    self.breakdown.gp_master += gp;
+                }
+                if stolen {
+                    // Hand the accumulators to the master when asked
+                    // (Figure 4, line 52).
+                    let accums = Arc::new(w.accums);
+                    if self.pending_getaccums.remove(&part) {
+                        self.send_accums(ctx, part, accums);
+                        self.advance(ctx);
+                    } else {
+                        self.waiting_getaccums = Some((part, accums));
+                        self.getaccums_wait_since = ctx.now;
+                    }
+                } else {
+                    self.master_finish_gather(ctx, part, w.vertices, w.accums);
+                }
+            }
+            _ => unreachable!("streaming only happens in scatter/gather"),
+        }
+    }
+
+    fn send_accums(&mut self, ctx: &mut Ctx<P>, part: usize, accums: Arc<Vec<P::Accum>>) {
+        let bytes = self.params.vertex_part_bytes(part);
+        // Shipping accumulators is load-balancing overhead ("copy").
+        let nic = Resource::new(self.cfg.fabric.nic_bytes_per_sec, 0);
+        self.breakdown.copy += nic.transfer_time(bytes);
+        ctx.send(
+            self.machine,
+            Addr::Compute(self.params.master(part)),
+            Msg::Accums {
+                part,
+                accums,
+                from: self.machine,
+            },
+            bytes + CONTROL_BYTES,
+        );
+    }
+
+    fn master_finish_gather(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        vertices: Vec<P::VertexState>,
+        accums: Vec<P::Accum>,
+    ) {
+        let stealers = self.stealers.get(&part).cloned().unwrap_or_default();
+        let mut fin = GatherFinish {
+            part,
+            vertices,
+            accums,
+            collected: Vec::new(),
+            awaiting: stealers.len(),
+            wait_started: ctx.now,
+            applying: false,
+        };
+        for s in &stealers {
+            ctx.send(
+                self.machine,
+                Addr::Compute(*s),
+                Msg::GetAccums {
+                    part,
+                    from: self.machine,
+                },
+                CONTROL_BYTES,
+            );
+        }
+        if fin.awaiting == 0 {
+            self.schedule_apply(ctx, &mut fin);
+        }
+        self.gather_finish = Some(fin);
+    }
+
+    fn schedule_apply(&mut self, ctx: &mut Ctx<P>, fin: &mut GatherFinish<P>) {
+        fin.applying = true;
+        let n = fin.vertices.len() as u64;
+        let cost = n * (1 + fin.collected.len() as u64) * self.cfg.ns_per_record
+            + self.cfg.msg_cpu_ns;
+        self.breakdown.merge += cost / self.cfg.cores as u64;
+        let done = self.cpu.serve(ctx.now, cost);
+        ctx.at(
+            done,
+            Addr::Compute(self.machine),
+            Msg::Processed {
+                work: Work::ApplyPartition { part: fin.part },
+            },
+        );
+    }
+
+    fn apply_partition(&mut self, ctx: &mut Ctx<P>, part: usize) {
+        let mut fin = self.gather_finish.take().expect("apply without finish state");
+        debug_assert_eq!(fin.part, part);
+        let base = self.params.spec.range(part).start;
+        // Merge replica accumulators (commutative), then apply once.
+        for arr in &fin.collected {
+            for (into, from) in fin.accums.iter_mut().zip(arr.iter()) {
+                self.program.merge(into, from);
+            }
+        }
+        for (off, (state, acc)) in fin.vertices.iter_mut().zip(fin.accums.iter()).enumerate() {
+            let v = base + off as u64;
+            if self.program.apply(v, state, acc, self.iter) {
+                self.agg.vertices_changed += 1;
+            }
+            let c = self.program.aggregate(state);
+            for (slot, x) in self.agg.custom.iter_mut().zip(c.iter()) {
+                *slot += x;
+            }
+        }
+        // Write the new vertex values back and drop the update set (§6.1).
+        let states = std::mem::take(&mut fin.vertices);
+        self.write_vertex_set(ctx, part, &states);
+        for s in 0..self.m() {
+            ctx.send(
+                self.machine,
+                Addr::Storage(s),
+                Msg::DeleteUpdates { part },
+                CONTROL_BYTES,
+            );
+        }
+        self.advance(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Stealing (master side)
+    // ------------------------------------------------------------------
+
+    fn on_steal_propose(&mut self, ctx: &mut Ctx<P>, part: usize, phase: PhaseKind, from: usize) {
+        if phase != self.phase || self.params.master(part) != self.machine {
+            // Stale proposal from a phase we already left.
+            ctx.send(
+                self.machine,
+                Addr::Compute(from),
+                Msg::StealReply {
+                    part,
+                    accept: false,
+                },
+                CONTROL_BYTES,
+            );
+            return;
+        }
+        self.steal_queries.entry(part).or_default().push_back(from);
+        self.maybe_query_remaining(ctx, part);
+    }
+
+    fn maybe_query_remaining(&mut self, ctx: &mut Ctx<P>, part: usize) {
+        if self.query_inflight.contains(&part) {
+            return;
+        }
+        if self
+            .steal_queries
+            .get(&part)
+            .map(|q| q.is_empty())
+            .unwrap_or(true)
+        {
+            return;
+        }
+        self.query_inflight.insert(part);
+        // "It estimates the value of D by multiplying the amount of edge or
+        // update data still to be processed on the local storage engine by
+        // the number of machines" (§5.4).
+        ctx.send(
+            self.machine,
+            Addr::Storage(self.machine),
+            Msg::RemainingReq {
+                part,
+                kind: self.phase_kind_data(self.phase),
+                from: self.machine,
+            },
+            CONTROL_BYTES,
+        );
+    }
+
+    fn on_remaining(&mut self, ctx: &mut Ctx<P>, part: usize, local_bytes: u64) {
+        self.query_inflight.remove(&part);
+        let Some(q) = self.steal_queries.get_mut(&part) else {
+            return;
+        };
+        let Some(proposer) = q.pop_front() else {
+            return;
+        };
+        let d = (local_bytes * self.m() as u64) as f64;
+        let v = self.params.vertex_part_bytes(part) as f64;
+        let h = 1.0 + self.stealers.get(&part).map(Vec::len).unwrap_or(0) as f64;
+        let alpha = self.cfg.steal_alpha;
+        // Equation 2 with the α bias of §10.2: V + D/(H+1) < α·D/H.
+        let accept = d > 0.0 && (v + d / (h + 1.0)) < alpha * (d / h);
+        if accept {
+            self.stealers.entry(part).or_default().push(proposer);
+        }
+        ctx.send(
+            self.machine,
+            Addr::Compute(proposer),
+            Msg::StealReply { part, accept },
+            CONTROL_BYTES,
+        );
+        self.maybe_query_remaining(ctx, part);
+    }
+
+    fn on_steal_reply(&mut self, ctx: &mut Ctx<P>, part: usize, accept: bool) {
+        if !self.scan.awaiting.remove(&part) {
+            return; // Stale reply after an abort.
+        }
+        if accept {
+            self.scan.accepted.push_back(part);
+        }
+        self.advance(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier + checkpoint
+    // ------------------------------------------------------------------
+
+    fn maybe_barrier(&mut self, ctx: &mut Ctx<P>) {
+        if self.barrier_sent
+            || self.work.is_some()
+            || self.gather_finish.is_some()
+            || self.waiting_getaccums.is_some()
+            || !self.own_queue.is_empty()
+            || !self.scan.finished()
+            || self.pending_write_acks != 0
+        {
+            return;
+        }
+        match self.phase {
+            PhaseKind::Scatter | PhaseKind::Gather => {}
+            _ => return,
+        }
+        if self.cfg.checkpoint && self.phase == PhaseKind::Gather {
+            match self.ckpt {
+                CkptState::Idle => {
+                    self.start_checkpoint(ctx);
+                    return;
+                }
+                CkptState::Copy(_) | CkptState::Commit(_) => return,
+                CkptState::Done => {}
+            }
+        }
+        self.arrive_barrier(ctx);
+    }
+
+    fn start_checkpoint(&mut self, ctx: &mut Ctx<P>) {
+        let mut pending = 0;
+        for &part in &self.my_parts {
+            for c in 0..self.params.vertex_chunks(part) {
+                pending += 1;
+                ctx.send(
+                    self.machine,
+                    Addr::Storage(self.params.vertex_home(part, c)),
+                    Msg::CheckpointChunk {
+                        part,
+                        chunk_no: c,
+                        from: self.machine,
+                    },
+                    CONTROL_BYTES,
+                );
+            }
+        }
+        if pending == 0 {
+            self.ckpt = CkptState::Done;
+            self.arrive_barrier(ctx);
+        } else {
+            self.ckpt = CkptState::Copy(pending);
+        }
+    }
+
+    fn on_ckpt_ack(&mut self, ctx: &mut Ctx<P>) {
+        match self.ckpt {
+            CkptState::Copy(n) => {
+                if n == 1 {
+                    // Phase two: commit on every engine that holds chunks of
+                    // our partitions (broadcast for simplicity).
+                    self.ckpt = CkptState::Commit(self.m());
+                    for s in 0..self.m() {
+                        ctx.send(
+                            self.machine,
+                            Addr::Storage(s),
+                            Msg::CheckpointCommit { from: self.machine },
+                            CONTROL_BYTES,
+                        );
+                    }
+                } else {
+                    self.ckpt = CkptState::Copy(n - 1);
+                }
+            }
+            _ => panic!("checkpoint ack in state {:?}", self.ckpt),
+        }
+    }
+
+    fn on_ckpt_commit_ack(&mut self, ctx: &mut Ctx<P>) {
+        match self.ckpt {
+            CkptState::Commit(n) => {
+                if n == 1 {
+                    self.ckpt = CkptState::Done;
+                    self.arrive_barrier(ctx);
+                } else {
+                    self.ckpt = CkptState::Commit(n - 1);
+                }
+            }
+            _ => panic!("commit ack in state {:?}", self.ckpt),
+        }
+    }
+
+    fn arrive_barrier(&mut self, ctx: &mut Ctx<P>) {
+        debug_assert!(!self.barrier_sent);
+        self.barrier_sent = true;
+        self.arrive_time = ctx.now;
+        let agg = std::mem::take(&mut self.agg);
+        ctx.send(
+            self.machine,
+            Addr::Coordinator,
+            Msg::BarrierArrive {
+                from: self.machine,
+                agg,
+            },
+            CONTROL_BYTES,
+        );
+    }
+
+    fn on_release(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        next: PhaseKind,
+        iter: u32,
+        agg: IterationAggregates,
+        done: bool,
+    ) {
+        self.breakdown.barrier += ctx.now - self.arrive_time;
+        if done {
+            self.done = true;
+            return;
+        }
+        match next {
+            PhaseKind::VertexInit => self.start_vertex_init(ctx),
+            PhaseKind::Scatter => {
+                if iter > 0 {
+                    // Synchronize program phase state with the coordinator's
+                    // end-of-iteration decision (deterministic).
+                    let _ = self.program.end_iteration(iter - 1, &agg);
+                }
+                self.start_phase(ctx, PhaseKind::Scatter, iter);
+            }
+            PhaseKind::Gather => self.start_phase(ctx, PhaseKind::Gather, iter),
+            PhaseKind::Preprocess => unreachable!("preprocess is never re-entered"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure recovery
+    // ------------------------------------------------------------------
+
+    fn on_abort(&mut self, ctx: &mut Ctx<P>, gen: u32, iter: u32) {
+        self.gen = gen;
+        ctx.gen = gen;
+        self.work = None;
+        self.gather_finish = None;
+        self.waiting_getaccums = None;
+        self.pending_getaccums.clear();
+        self.stealers.clear();
+        self.steal_queries.clear();
+        self.query_inflight.clear();
+        self.pending_write_acks = 0;
+        self.pending_dir_writes.clear();
+        self.scan = StealScan::idle();
+        self.own_queue.clear();
+        self.agg = IterationAggregates::default();
+        self.barrier_sent = false;
+        self.ckpt = CkptState::Idle;
+        self.iter = iter;
+        ctx.send(self.machine, Addr::Coordinator, Msg::AbortAck, CONTROL_BYTES);
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    /// Handles one message.
+    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+        match msg {
+            Msg::InputChunkResp { source, data } => {
+                self.on_input_chunk(ctx, Some(source), data);
+            }
+            Msg::EdgeChunkResp { part, source, data } => {
+                self.on_stream_chunk(ctx, part, Some(source), data, |d| Work::ScatterChunk {
+                    part,
+                    data: d,
+                });
+            }
+            Msg::UpdateChunkResp { part, source, data } => {
+                self.on_stream_chunk(ctx, part, Some(source), data, |d| Work::GatherChunk {
+                    part,
+                    data: d,
+                });
+            }
+            Msg::VertexChunkResp {
+                part,
+                chunk_no,
+                data,
+            } => self.on_vertex_chunk(ctx, part, chunk_no, data),
+            Msg::WriteAck { kind } => {
+                match kind {
+                    WriteKind::Checkpoint => self.on_ckpt_ack(ctx),
+                    _ => {
+                        self.pending_write_acks -= 1;
+                        match self.phase {
+                            PhaseKind::Preprocess => self.maybe_finish_preprocess(ctx),
+                            PhaseKind::VertexInit => self.maybe_arrive_simple(ctx),
+                            _ => self.maybe_barrier(ctx),
+                        }
+                    }
+                }
+            }
+            Msg::CheckpointCommitAck => self.on_ckpt_commit_ack(ctx),
+            Msg::DegreeContrib { part, counts, from } => {
+                self.on_degree_contrib(ctx, part, &counts, from)
+            }
+            Msg::DegreeAck => {
+                self.pp.degree_acks_pending -= 1;
+                self.maybe_finish_preprocess(ctx);
+            }
+            Msg::StealPropose { part, phase, from } => {
+                self.on_steal_propose(ctx, part, phase, from)
+            }
+            Msg::StealReply { part, accept } => self.on_steal_reply(ctx, part, accept),
+            Msg::RemainingResp { part, bytes } => self.on_remaining(ctx, part, bytes),
+            Msg::GetAccums { part, from: _ } => {
+                if let Some((p, accums)) = self.waiting_getaccums.take() {
+                    if p == part {
+                        self.breakdown.merge_wait += ctx.now - self.getaccums_wait_since;
+                        self.send_accums(ctx, part, accums);
+                        self.advance(ctx);
+                        return;
+                    }
+                    self.waiting_getaccums = Some((p, accums));
+                }
+                if let Some(idx) = self.scan.accepted.iter().position(|&q| q == part) {
+                    // Accepted but never started: the master finished its
+                    // stream already, so abandon the steal and hand back
+                    // identity accumulators.
+                    self.scan.accepted.remove(idx);
+                    let n = self.params.spec.len(part) as usize;
+                    let empty: Arc<Vec<P::Accum>> =
+                        Arc::new((0..n).map(|_| P::Accum::default()).collect());
+                    self.send_accums(ctx, part, empty);
+                    self.advance(ctx);
+                    return;
+                }
+                self.pending_getaccums.insert(part);
+            }
+            Msg::Accums {
+                part,
+                accums,
+                from: _,
+            } => {
+                let mut fin = self
+                    .gather_finish
+                    .take()
+                    .expect("accums only arrive while the master waits");
+                debug_assert_eq!(fin.part, part);
+                fin.collected.push(accums);
+                fin.awaiting -= 1;
+                if fin.awaiting == 0 {
+                    self.breakdown.merge_wait += ctx.now - fin.wait_started;
+                    self.schedule_apply(ctx, &mut fin);
+                }
+                self.gather_finish = Some(fin);
+            }
+            Msg::Processed { work } => match work {
+                Work::BinInputChunk { data } => self.bin_input_chunk(ctx, data),
+                Work::ScatterChunk { part, data } => self.scatter_chunk(ctx, part, data),
+                Work::GatherChunk { part, data } => self.gather_chunk(ctx, part, data),
+                Work::ApplyPartition { part } => self.apply_partition(ctx, part),
+                Work::InitPartition { part } => self.init_partition(ctx, part),
+            },
+            Msg::BarrierRelease {
+                next,
+                iter,
+                agg,
+                done,
+            } => self.on_release(ctx, next, iter, agg, done),
+            Msg::Abort { gen, iter } => self.on_abort(ctx, gen, iter),
+            Msg::DirWriteResp {
+                part,
+                kind,
+                engine,
+            } => self.on_dir_write_resp(ctx, part, kind, engine),
+            Msg::DirReadResp {
+                part,
+                kind,
+                engine,
+            } => self.on_dir_read_resp(ctx, part, kind, engine),
+            other => panic!("compute engine got unexpected message {other:?}"),
+        }
+    }
+
+    // Directory plumbing -------------------------------------------------
+
+    fn on_dir_write_resp(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        kind: DataKind,
+        engine: usize,
+    ) {
+        let pending = self
+            .pending_dir_writes
+            .pop_front()
+            .expect("directory write response without a pending write");
+        match (pending, kind) {
+            (
+                PendingDirWrite::Edges {
+                    part: p,
+                    reverse,
+                    data,
+                },
+                DataKind::Edges | DataKind::EdgesReverse,
+            ) => {
+                debug_assert_eq!(p, part);
+                let bytes = data.len() as u64 * self.params.edge_bytes;
+                ctx.send(
+                    self.machine,
+                    Addr::Storage(engine),
+                    Msg::WriteEdgeChunk {
+                        part,
+                        reverse,
+                        data,
+                        from: self.machine,
+                    },
+                    bytes + CONTROL_BYTES,
+                );
+            }
+            (PendingDirWrite::Updates { part: p, data }, DataKind::Updates) => {
+                debug_assert_eq!(p, part);
+                let bytes = data.len() as u64 * self.params.update_bytes;
+                ctx.send(
+                    self.machine,
+                    Addr::Storage(engine),
+                    Msg::WriteUpdateChunk {
+                        part,
+                        data,
+                        from: self.machine,
+                    },
+                    bytes + CONTROL_BYTES,
+                );
+            }
+            _ => panic!("directory response kind mismatch"),
+        }
+    }
+
+    fn on_dir_read_resp(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        kind: DataKind,
+        engine: Option<usize>,
+    ) {
+        match kind {
+            DataKind::Input => match engine {
+                Some(e) => {
+                    ctx.send(
+                        self.machine,
+                        Addr::Storage(e),
+                        Msg::InputChunkReq { from: self.machine },
+                        CONTROL_BYTES,
+                    );
+                }
+                None => self.on_input_chunk(ctx, None, None),
+            },
+            DataKind::Edges | DataKind::EdgesReverse => match engine {
+                Some(e) => {
+                    ctx.send(
+                        self.machine,
+                        Addr::Storage(e),
+                        Msg::EdgeChunkReq {
+                            part,
+                            reverse: kind == DataKind::EdgesReverse,
+                            from: self.machine,
+                        },
+                        CONTROL_BYTES,
+                    );
+                }
+                None => self.on_stream_chunk::<Edge>(ctx, part, None, None, |_| unreachable!()),
+            },
+            DataKind::Updates => match engine {
+                Some(e) => {
+                    ctx.send(
+                        self.machine,
+                        Addr::Storage(e),
+                        Msg::UpdateChunkReq {
+                            part,
+                            from: self.machine,
+                        },
+                        CONTROL_BYTES,
+                    );
+                }
+                None => self
+                    .on_stream_chunk::<Update<P::Update>>(ctx, part, None, None, |_| {
+                        unreachable!()
+                    }),
+            },
+        }
+    }
+
+}
+
+/// Picks a uniformly random engine that is neither already requested nor
+/// exhausted; under locality placement only `local` is eligible. With
+/// `oversubscribe`, a second request may target an already-busy engine
+/// (windows larger than the machine count, §6.5's past-the-sweet-spot
+/// regime).
+fn pick_engine(
+    rng: &mut Rng,
+    requested: &[bool],
+    exhausted: &[bool],
+    local: Option<usize>,
+    oversubscribe: bool,
+) -> Option<usize> {
+    if let Some(l) = local {
+        // LocalOnly: allow multiple outstanding requests to the single
+        // eligible engine (its device queue serializes them).
+        return (!exhausted[l]).then_some(l);
+    }
+    let eligible: Vec<usize> = (0..requested.len())
+        .filter(|&e| !requested[e] && !exhausted[e])
+        .collect();
+    if !eligible.is_empty() {
+        return Some(eligible[rng.below(eligible.len() as u64) as usize]);
+    }
+    if oversubscribe {
+        let fallback: Vec<usize> = (0..exhausted.len()).filter(|&e| !exhausted[e]).collect();
+        if !fallback.is_empty() {
+            return Some(fallback[rng.below(fallback.len() as u64) as usize]);
+        }
+    }
+    None
+}

@@ -1,0 +1,206 @@
+//! Engine configuration.
+
+use chaos_net::FabricConfig;
+use chaos_sim::{Time, GIB, KIB, MIB};
+use chaos_storage::DeviceProfile;
+
+/// How chunk placement and lookup are decided (§6.2 / Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Paper Chaos: uniform random placement, random reads, no metadata
+    /// service.
+    RandomUniform,
+    /// Giraph-style locality: every structure of a partition lives on its
+    /// master's storage engine.
+    LocalOnly,
+    /// The Figure 15 strawman: a centralized directory actor assigns and
+    /// locates every chunk.
+    Centralized,
+}
+
+/// Where a transient machine failure is injected (for the fault-tolerance
+/// experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// The machine that fails.
+    pub machine: usize,
+    /// The iteration whose scatter phase is interrupted.
+    pub iteration: u32,
+    /// Reboot time before the machine rejoins.
+    pub downtime: Time,
+}
+
+/// Full configuration of a Chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Number of machines; each hosts one computation engine and one
+    /// storage engine (Figure 6).
+    pub machines: usize,
+    /// Storage device profile per machine.
+    pub device: DeviceProfile,
+    /// Network fabric.
+    pub fabric: FabricConfig,
+    /// Chunk size in bytes; the paper uses 4 MiB, scaled runs less.
+    pub chunk_bytes: u64,
+    /// Per-machine memory budget for one partition's vertex set; drives the
+    /// partition-count rule of §3.
+    pub mem_budget: u64,
+    /// Request window φk per computation engine (§6.5); the paper's sweet
+    /// spot is 10 (k = 5, φ = 2).
+    pub batch_window: usize,
+    /// Work-stealing bias α (§10.2): 0 disables stealing, 1 is the paper's
+    /// criterion, `f64::INFINITY` always steals.
+    pub steal_alpha: f64,
+    /// Chunk placement policy.
+    pub placement: Placement,
+    /// CPU cores per machine.
+    pub cores: u32,
+    /// CPU nanoseconds per record processed, at one core.
+    pub ns_per_record: u64,
+    /// Fixed CPU nanoseconds per chunk-bearing message, at one core.
+    pub msg_cpu_ns: u64,
+    /// Page-cache budget per machine in bytes (0 disables; §7).
+    pub pagecache_bytes: u64,
+    /// Whether to checkpoint vertex values at every barrier (§6.6).
+    pub checkpoint: bool,
+    /// Centralized-directory service time per operation.
+    pub directory_op_ns: u64,
+    /// Optional transient-failure injection (requires `checkpoint`).
+    pub failure: Option<FailureSpec>,
+    /// Spill chunk payloads to real files under this directory (one
+    /// subdirectory per machine, one file per (partition, structure) as in
+    /// §7 of the paper). `None` keeps payloads in memory; simulated I/O
+    /// timing is identical either way.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// RNG seed; a run is a pure function of (config, program, graph).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// The default scaled-down cluster: SSDs, 40 GigE, 256 KiB chunks,
+    /// window 10, α = 1, random placement, 16 cores, page cache enabled.
+    pub fn new(machines: usize) -> Self {
+        Self {
+            machines,
+            device: DeviceProfile::ssd(),
+            fabric: FabricConfig::forty_gige(machines),
+            chunk_bytes: 256 * KIB,
+            mem_budget: GIB, // Effectively "one partition per machine".
+            batch_window: 10,
+            steal_alpha: 1.0,
+            placement: Placement::RandomUniform,
+            cores: 16,
+            ns_per_record: 50,
+            msg_cpu_ns: 50_000,
+            pagecache_bytes: 8 * MIB,
+            checkpoint: false,
+            // One metadata operation through a single directory thread
+            // (lookup + state update + reply marshaling). At 10 us the
+            // directory saturates near 100k ops/s — comfortably above what
+            // a few machines generate and well below what 32 machines of
+            // chunk traffic demand, which is exactly the Figure 15 cliff.
+            directory_op_ns: 10_000,
+            failure: None,
+            spill_dir: None,
+            seed: 0xC4A05,
+        }
+    }
+
+    /// Switches to the HDD profile (Figure 11 / §9.3).
+    pub fn with_hdd(mut self) -> Self {
+        self.device = DeviceProfile::hdd();
+        self
+    }
+
+    /// Switches to the 1 GigE fabric (Figure 12).
+    pub fn with_one_gige(mut self) -> Self {
+        self.fabric = FabricConfig::one_gige(self.machines);
+        self
+    }
+
+    /// The derived batching amplification φ = 1 + R_network / R_storage
+    /// (Equation 3).
+    pub fn phi(&self) -> f64 {
+        1.0 + self.fabric.rtt() as f64 / self.device.latency.max(1) as f64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.machines == 0 {
+            return Err("need at least one machine".into());
+        }
+        if self.fabric.machines != self.machines {
+            return Err(format!(
+                "fabric is sized for {} machines, config says {}",
+                self.fabric.machines, self.machines
+            ));
+        }
+        if self.chunk_bytes < 1024 {
+            return Err("chunks below 1 KiB defeat sequential access".into());
+        }
+        if self.batch_window == 0 {
+            return Err("batch window must be at least 1".into());
+        }
+        if self.steal_alpha < 0.0 {
+            return Err("steal alpha must be non-negative".into());
+        }
+        if self.cores == 0 {
+            return Err("need at least one core".into());
+        }
+        if let Some(f) = &self.failure {
+            if !self.checkpoint {
+                return Err("failure injection requires checkpointing".into());
+            }
+            if f.machine >= self.machines {
+                return Err("failed machine out of range".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ChaosConfig::new(4).validate().is_ok());
+        assert!(ChaosConfig::new(1).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ChaosConfig::new(0).validate().is_err());
+        let mut c = ChaosConfig::new(2);
+        c.batch_window = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChaosConfig::new(2);
+        c.failure = Some(FailureSpec {
+            machine: 0,
+            iteration: 1,
+            downtime: 0,
+        });
+        assert!(c.validate().is_err(), "failure without checkpointing");
+        c.checkpoint = true;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn phi_for_paper_ssd_is_two() {
+        // SSD latency 50us, 40GigE RTT 50us => phi = 2 (§10.1).
+        let c = ChaosConfig::new(8);
+        assert!((c.phi() - 2.0).abs() < 0.01, "phi = {}", c.phi());
+    }
+
+    #[test]
+    fn hdd_and_one_gige_presets() {
+        let c = ChaosConfig::new(4).with_hdd().with_one_gige();
+        assert_eq!(c.device.name, "HDD");
+        assert!(c.fabric.nic_bytes_per_sec < 200_000_000);
+    }
+}

@@ -1,0 +1,210 @@
+//! Barrier coordinator.
+//!
+//! Chaos has a global barrier after each scatter and each gather phase
+//! (§4). The coordinator actor collects `BarrierArrive` messages, combines
+//! the per-machine iteration aggregates, consults its own copy of the
+//! program for the end-of-iteration decision (every computation engine
+//! replays the same decision from the broadcast aggregates, so program
+//! phase state stays consistent cluster-wide), resets edge-chunk epochs
+//! between iterations, and drives transient-failure recovery (§6.6).
+
+use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_sim::Time;
+
+use crate::config::FailureSpec;
+use crate::msg::{Msg, PhaseKind, CONTROL_BYTES};
+use crate::runtime::{Addr, Ctx};
+
+/// The coordinator actor (one per cluster, co-located with machine 0).
+pub struct Coordinator<P: GasProgram> {
+    machines: usize,
+    program: P,
+    phase: PhaseKind,
+    iter: u32,
+    arrived: usize,
+    agg: IterationAggregates,
+    epoch_acks: usize,
+    /// Completed-iteration aggregates.
+    pub history: Vec<IterationAggregates>,
+    /// Simulated time when pre-processing (incl. vertex init) completed.
+    pub preprocess_end: Time,
+    /// Whether the computation has converged.
+    pub done: bool,
+    /// Protocol generation (bumped on failure recovery).
+    pub gen: u32,
+    failure: Option<FailureSpec>,
+    abort_acks: usize,
+    reboot_pending: bool,
+    centralized: bool,
+    /// Number of global barriers crossed (metrics).
+    pub barriers: u64,
+}
+
+impl<P: GasProgram> Coordinator<P> {
+    /// Creates the coordinator; `centralized` adds the directory to the
+    /// epoch-reset round.
+    pub fn new(
+        machines: usize,
+        program: P,
+        failure: Option<FailureSpec>,
+        centralized: bool,
+    ) -> Self {
+        Self {
+            machines,
+            program,
+            phase: PhaseKind::Preprocess,
+            iter: 0,
+            arrived: 0,
+            agg: IterationAggregates::default(),
+            epoch_acks: 0,
+            history: Vec::new(),
+            preprocess_end: 0,
+            done: false,
+            gen: 0,
+            failure,
+            abort_acks: 0,
+            reboot_pending: false,
+            centralized,
+            barriers: 0,
+        }
+    }
+
+    fn release(&mut self, ctx: &mut Ctx<P>, next: PhaseKind, iter: u32, done: bool) {
+        let agg = if next == PhaseKind::Scatter && iter > 0 {
+            // Releasing into the next iteration: ship the completed
+            // iteration's aggregates so engines can replay end_iteration.
+            *self.history.last().expect("completed iteration recorded")
+        } else {
+            IterationAggregates::default()
+        };
+        for c in 0..self.machines {
+            ctx.send(
+                0,
+                Addr::Compute(c),
+                Msg::BarrierRelease {
+                    next,
+                    iter,
+                    agg,
+                    done,
+                },
+                CONTROL_BYTES,
+            );
+        }
+        if !done {
+            self.phase = next;
+            self.iter = iter;
+        }
+    }
+
+    fn on_all_arrived(&mut self, ctx: &mut Ctx<P>) {
+        self.barriers += 1;
+        match self.phase {
+            PhaseKind::Preprocess => {
+                self.agg = IterationAggregates::default();
+                self.release(ctx, PhaseKind::VertexInit, 0, false);
+            }
+            PhaseKind::VertexInit => {
+                self.preprocess_end = ctx.now;
+                self.agg = IterationAggregates::default();
+                self.release(ctx, PhaseKind::Scatter, 0, false);
+            }
+            PhaseKind::Scatter => {
+                self.release(ctx, PhaseKind::Gather, self.iter, false);
+            }
+            PhaseKind::Gather => {
+                let iter = self.iter;
+                let agg = std::mem::take(&mut self.agg);
+                self.history.push(agg);
+                let control = self.program.end_iteration(iter, &agg);
+                if control == Control::Done {
+                    self.done = true;
+                    self.release(ctx, PhaseKind::Scatter, iter + 1, true);
+                } else {
+                    // Edge cursors rewind before the next scatter (§7).
+                    self.epoch_acks = self.machines + usize::from(self.centralized);
+                    for s in 0..self.machines {
+                        ctx.send(0, Addr::Storage(s), Msg::ResetEdgeEpoch, CONTROL_BYTES);
+                    }
+                    if self.centralized {
+                        ctx.send(0, Addr::Directory, Msg::ResetEdgeEpoch, CONTROL_BYTES);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one message.
+    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+        match msg {
+            Msg::BarrierArrive { from: _, agg } => {
+                // Failure injection: interrupt the configured scatter phase
+                // when its first machine reaches the barrier.
+                if let Some(f) = self.failure {
+                    if self.phase == PhaseKind::Scatter && self.iter == f.iteration {
+                        self.failure = None;
+                        self.start_abort(ctx);
+                        return;
+                    }
+                }
+                self.agg.absorb(&agg);
+                self.arrived += 1;
+                if self.arrived == self.machines {
+                    self.arrived = 0;
+                    self.on_all_arrived(ctx);
+                }
+            }
+            Msg::EpochResetAck => {
+                self.epoch_acks -= 1;
+                if self.epoch_acks == 0 {
+                    self.release(ctx, PhaseKind::Scatter, self.iter + 1, false);
+                }
+            }
+            Msg::AbortAck => {
+                self.abort_acks -= 1;
+                if self.abort_acks == 0 && !self.reboot_pending {
+                    self.release(ctx, PhaseKind::Scatter, self.iter, false);
+                }
+            }
+            Msg::RebootDone => {
+                self.reboot_pending = false;
+                if self.abort_acks == 0 {
+                    self.release(ctx, PhaseKind::Scatter, self.iter, false);
+                }
+            }
+            other => panic!("coordinator got unexpected message {other:?}"),
+        }
+    }
+
+    fn start_abort(&mut self, ctx: &mut Ctx<P>) {
+        self.gen += 1;
+        ctx.gen = self.gen;
+        self.arrived = 0;
+        self.agg = IterationAggregates::default();
+        // All engines abandon the iteration; storage restores checkpoints.
+        self.abort_acks = 2 * self.machines;
+        for i in 0..self.machines {
+            ctx.send(
+                0,
+                Addr::Compute(i),
+                Msg::Abort {
+                    gen: self.gen,
+                    iter: self.iter,
+                },
+                CONTROL_BYTES,
+            );
+            ctx.send(
+                0,
+                Addr::Storage(i),
+                Msg::Abort {
+                    gen: self.gen,
+                    iter: self.iter,
+                },
+                CONTROL_BYTES,
+            );
+        }
+        // The failed machine rejoins after its reboot delay.
+        let downtime = 30 * chaos_sim::SECS;
+        self.reboot_pending = true;
+        ctx.at(ctx.now + downtime, Addr::Coordinator, Msg::RebootDone);
+    }
+}

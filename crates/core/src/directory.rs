@@ -1,0 +1,134 @@
+//! Centralized chunk directory — the Figure 15 strawman.
+//!
+//! Instead of randomized placement and lookup, a single directory actor
+//! decides where every chunk is written and which engine serves each read.
+//! Every operation passes through one serialized service queue, which is
+//! exactly why the design does not scale: the directory becomes the
+//! bottleneck as machines are added.
+
+use std::collections::HashMap;
+
+use chaos_gas::GasProgram;
+use chaos_sim::Resource;
+
+use crate::msg::{DataKind, Msg, CONTROL_BYTES};
+use crate::runtime::{Addr, Ctx};
+
+/// The directory actor.
+pub struct Directory<P: GasProgram> {
+    machines: usize,
+    ops: Resource,
+    /// Per (kind, partition): available and total chunk counts per engine.
+    counts: HashMap<(u8, usize), (Vec<u64>, Vec<u64>)>,
+    rr: usize,
+    _marker: std::marker::PhantomData<P>,
+}
+
+fn kind_tag(kind: DataKind) -> u8 {
+    match kind {
+        DataKind::Input => 0,
+        DataKind::Edges => 1,
+        DataKind::EdgesReverse => 2,
+        DataKind::Updates => 3,
+    }
+}
+
+impl<P: GasProgram> Directory<P> {
+    /// Creates the directory; `op_ns` is the service time per operation.
+    pub fn new(machines: usize, op_ns: u64) -> Self {
+        Self {
+            machines,
+            // One op takes `op_ns`; the Resource rate is ops/sec expressed
+            // as "1 unit per op".
+            ops: Resource::new(1_000_000_000 / op_ns.max(1), 0),
+            counts: HashMap::new(),
+            rr: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers chunks distributed during cluster setup (the input edge
+    /// list is pre-spread over the devices).
+    pub fn preregister(&mut self, kind: DataKind, part: usize, engine: usize) {
+        let m = self.machines;
+        let entry = self
+            .counts
+            .entry((kind_tag(kind), part))
+            .or_insert_with(|| (vec![0; m], vec![0; m]));
+        entry.0[engine] += 1;
+        entry.1[engine] += 1;
+    }
+
+    /// Handles one message.
+    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+        match msg {
+            Msg::DirWrite { part, kind, from } => {
+                let done = self.ops.serve(ctx.now, 1);
+                let engine = self.rr % self.machines;
+                self.rr += 1;
+                self.preregister(kind, part, engine);
+                ctx.at(
+                    done,
+                    Addr::Directory,
+                    Msg::StorageRespond {
+                        to: from,
+                        bytes: CONTROL_BYTES,
+                        inner: Box::new(Msg::DirWriteResp { part, kind, engine }),
+                    },
+                );
+            }
+            Msg::DirRead { part, kind, from } => {
+                let done = self.ops.serve(ctx.now, 1);
+                let engine = self
+                    .counts
+                    .get_mut(&(kind_tag(kind), part))
+                    .and_then(|(avail, _)| {
+                        let m = avail.len();
+                        let start = self.rr % m;
+                        (0..m)
+                            .map(|i| (start + i) % m)
+                            .find(|&e| avail[e] > 0)
+                            .map(|e| {
+                                avail[e] -= 1;
+                                e
+                            })
+                    });
+                self.rr += 1;
+                ctx.at(
+                    done,
+                    Addr::Directory,
+                    Msg::StorageRespond {
+                        to: from,
+                        bytes: CONTROL_BYTES,
+                        inner: Box::new(Msg::DirReadResp { part, kind, engine }),
+                    },
+                );
+            }
+            Msg::ResetEdgeEpoch => {
+                // Edge chunks become readable again for the next iteration;
+                // update counts stay consumed (update sets are deleted and
+                // rewritten each iteration).
+                for ((tag, _), (avail, total)) in self.counts.iter_mut() {
+                    if *tag == kind_tag(DataKind::Edges)
+                        || *tag == kind_tag(DataKind::EdgesReverse)
+                    {
+                        avail.clone_from(total);
+                    }
+                }
+                ctx.send(0, Addr::Coordinator, Msg::EpochResetAck, CONTROL_BYTES);
+            }
+            Msg::DeleteUpdates { part } => {
+                if let Some((avail, total)) =
+                    self.counts.get_mut(&(kind_tag(DataKind::Updates), part))
+                {
+                    avail.iter_mut().for_each(|c| *c = 0);
+                    total.iter_mut().for_each(|c| *c = 0);
+                }
+            }
+            Msg::StorageRespond { to, bytes, inner } => {
+                ctx.send(0, Addr::Compute(to), *inner, bytes);
+            }
+            other => panic!("directory got unexpected message {other:?}"),
+        }
+    }
+}

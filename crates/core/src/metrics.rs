@@ -1,0 +1,163 @@
+//! Runtime metrics: the per-machine breakdown of Figure 17, device and
+//! fabric statistics, and the consolidated run report.
+
+use chaos_gas::IterationAggregates;
+use chaos_net::FabricStats;
+use chaos_sim::Time;
+use chaos_storage::device::DeviceStats;
+
+/// Per-machine wall-time breakdown in the categories of Figure 17.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Breakdown {
+    /// Graph processing on partitions this machine masters.
+    pub gp_master: Time,
+    /// Graph processing on stolen partitions.
+    pub gp_stolen: Time,
+    /// Copying overhead of load balancing: stealers loading vertex sets and
+    /// shipping accumulators.
+    pub copy: Time,
+    /// Master-side merging of stealer accumulators and apply.
+    pub merge: Time,
+    /// Waiting for the master/stealer accumulator exchange.
+    pub merge_wait: Time,
+    /// Idle at barriers.
+    pub barrier: Time,
+}
+
+impl Breakdown {
+    /// Sum of all categories.
+    pub fn total(&self) -> Time {
+        self.gp_master + self.gp_stolen + self.copy + self.merge + self.merge_wait + self.barrier
+    }
+
+    /// Fractions of `runtime` per category, in Figure 17 order
+    /// `[gp_master, gp_stolen, copy, merge, merge_wait, barrier]`.
+    pub fn fractions(&self, runtime: Time) -> [f64; 6] {
+        let d = runtime.max(1) as f64;
+        [
+            self.gp_master as f64 / d,
+            self.gp_stolen as f64 / d,
+            self.copy as f64 / d,
+            self.merge as f64 / d,
+            self.merge_wait as f64 / d,
+            self.barrier as f64 / d,
+        ]
+    }
+
+    /// Element-wise accumulation.
+    pub fn absorb(&mut self, o: &Breakdown) {
+        self.gp_master += o.gp_master;
+        self.gp_stolen += o.gp_stolen;
+        self.copy += o.copy;
+        self.merge += o.merge;
+        self.merge_wait += o.merge_wait;
+        self.barrier += o.barrier;
+    }
+}
+
+/// Everything measured over one run of the engine.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total simulated wall-clock time, pre-processing included (§8:
+    /// "all results report the wall-clock time to go from the unsorted
+    /// edge list ... to the final vertex state").
+    pub runtime: Time,
+    /// Simulated time when pre-processing (including vertex init) ended.
+    pub preprocess_time: Time,
+    /// Number of scatter/gather iterations executed.
+    pub iterations: u32,
+    /// Global aggregates per iteration.
+    pub iteration_aggs: Vec<IterationAggregates>,
+    /// Per-machine breakdowns (Figure 17).
+    pub breakdowns: Vec<Breakdown>,
+    /// Per-machine storage device statistics.
+    pub devices: Vec<DeviceStats>,
+    /// Per-machine device busy time (for utilization, Figure 14).
+    pub device_busy: Vec<Time>,
+    /// Fabric statistics.
+    pub fabric: FabricStats,
+    /// Partitions stolen at least once, per phase kind (scatter, gather).
+    pub steals: u64,
+    /// Number of streaming partitions used.
+    pub partitions: usize,
+    /// Total events processed by the simulation kernel.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Total bytes moved through all storage devices (the paper's "I/O"
+    /// figure for capacity runs, §9.3).
+    pub fn total_device_bytes(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.bytes_read + d.bytes_written)
+            .sum()
+    }
+
+    /// Aggregate storage bandwidth achieved, in bytes/second (Figure 14).
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        if self.runtime == 0 {
+            return 0.0;
+        }
+        self.total_device_bytes() as f64 / (self.runtime as f64 / 1e9)
+    }
+
+    /// Mean device utilization across machines over the whole run.
+    pub fn mean_device_utilization(&self) -> f64 {
+        if self.devices.is_empty() || self.runtime == 0 {
+            return 0.0;
+        }
+        let s: f64 = self
+            .device_busy
+            .iter()
+            .map(|&b| b as f64 / self.runtime as f64)
+            .sum();
+        s / self.devices.len() as f64
+    }
+
+    /// Runtime in (fractional) seconds.
+    pub fn seconds(&self) -> f64 {
+        self.runtime as f64 / 1e9
+    }
+
+    /// Mean Figure 17 breakdown across machines, normalized by `runtime`.
+    pub fn mean_breakdown_fractions(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        if self.breakdowns.is_empty() {
+            return out;
+        }
+        for b in &self.breakdowns {
+            let f = b.fractions(self.runtime);
+            for (o, x) in out.iter_mut().zip(f.iter()) {
+                *o += x;
+            }
+        }
+        for o in &mut out {
+            *o /= self.breakdowns.len() as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum() {
+        let b = Breakdown {
+            gp_master: 50,
+            gp_stolen: 20,
+            copy: 10,
+            merge: 5,
+            merge_wait: 5,
+            barrier: 10,
+        };
+        assert_eq!(b.total(), 100);
+        let f = b.fractions(100);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mut c = Breakdown::default();
+        c.absorb(&b);
+        assert_eq!(c.total(), 100);
+    }
+}

@@ -1,0 +1,245 @@
+//! Actor addressing, run-wide derived parameters and the send context.
+
+
+use chaos_gas::GasProgram;
+use chaos_graph::PartitionSpec;
+use chaos_sim::rng::mix2;
+use chaos_sim::Time;
+
+use crate::config::{ChaosConfig, Placement};
+use crate::msg::Msg;
+
+/// Address of an actor in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Addr {
+    /// Computation engine of machine `i`.
+    Compute(usize),
+    /// Storage engine of machine `i`.
+    Storage(usize),
+    /// Barrier coordinator (co-located with machine 0).
+    Coordinator,
+    /// Centralized chunk directory (co-located with machine 0; only used
+    /// under [`crate::config::Placement::Centralized`]).
+    Directory,
+}
+
+impl Addr {
+    /// The machine hosting this actor, for fabric routing.
+    pub fn machine(&self) -> usize {
+        match self {
+            Addr::Compute(i) | Addr::Storage(i) => *i,
+            Addr::Coordinator | Addr::Directory => 0,
+        }
+    }
+
+    /// Dense index for the event queue (computes, then storages, then the
+    /// two singletons).
+    pub fn index(&self, machines: usize) -> usize {
+        match self {
+            Addr::Compute(i) => *i,
+            Addr::Storage(i) => machines + *i,
+            Addr::Coordinator => 2 * machines,
+            Addr::Directory => 2 * machines + 1,
+        }
+    }
+
+    /// Inverse of [`Addr::index`].
+    pub fn from_index(idx: usize, machines: usize) -> Addr {
+        if idx < machines {
+            Addr::Compute(idx)
+        } else if idx < 2 * machines {
+            Addr::Storage(idx - machines)
+        } else if idx == 2 * machines {
+            Addr::Coordinator
+        } else {
+            Addr::Directory
+        }
+    }
+}
+
+/// Derived, immutable parameters shared by all actors of a run.
+#[derive(Debug)]
+pub struct RunParams {
+    /// Machine count.
+    pub machines: usize,
+    /// Streaming-partition layout.
+    pub spec: PartitionSpec,
+    /// Storage bytes per edge record.
+    pub edge_bytes: u64,
+    /// Storage bytes per update record.
+    pub update_bytes: u64,
+    /// Storage bytes per vertex record.
+    pub vstate_bytes: u64,
+    /// Edge records per chunk.
+    pub edges_per_chunk: usize,
+    /// Update records per chunk.
+    pub updates_per_chunk: usize,
+    /// Vertex records per chunk.
+    pub verts_per_chunk: usize,
+    /// Request window (φk). Up to `machines` requests go to distinct
+    /// engines; a larger window over-subscribes random engines (the
+    /// queueing-delay regime past the Figure 16 sweet spot).
+    pub window: usize,
+    /// Chunk placement policy (affects vertex-chunk homes).
+    pub placement: Placement,
+}
+
+impl RunParams {
+    /// Builds the derived parameters for a `(config, program, graph)` run.
+    pub fn new(
+        cfg: &ChaosConfig,
+        spec: PartitionSpec,
+        edge_bytes: u64,
+        update_bytes: u64,
+        vstate_bytes: u64,
+    ) -> Self {
+        let cb = cfg.chunk_bytes;
+        Self {
+            machines: cfg.machines,
+            spec,
+            edge_bytes,
+            update_bytes,
+            vstate_bytes,
+            edges_per_chunk: (cb / edge_bytes).max(1) as usize,
+            updates_per_chunk: (cb / update_bytes).max(1) as usize,
+            verts_per_chunk: (cb / vstate_bytes).max(1) as usize,
+            window: cfg.batch_window,
+            placement: cfg.placement,
+        }
+    }
+
+    /// Master machine of a partition (round-robin assignment).
+    pub fn master(&self, part: usize) -> usize {
+        part % self.machines
+    }
+
+    /// Number of vertex chunks of a partition.
+    pub fn vertex_chunks(&self, part: usize) -> u32 {
+        (self.spec.len(part) as usize).div_ceil(self.verts_per_chunk) as u32
+    }
+
+    /// Home storage engine of a vertex chunk: "the equivalent of hashing on
+    /// the partition identifier and the chunk number" (§6.4). Under
+    /// locality-seeking placement everything lives at the master.
+    pub fn vertex_home(&self, part: usize, chunk_no: u32) -> usize {
+        if self.placement == Placement::LocalOnly {
+            return self.master(part);
+        }
+        (mix2(part as u64, chunk_no as u64) % self.machines as u64) as usize
+    }
+
+    /// Rows covered by vertex chunk `chunk_no` of `part`, as offsets within
+    /// the partition.
+    pub fn vertex_chunk_rows(&self, part: usize, chunk_no: u32) -> std::ops::Range<usize> {
+        let n = self.spec.len(part) as usize;
+        let lo = (chunk_no as usize * self.verts_per_chunk).min(n);
+        let hi = (lo + self.verts_per_chunk).min(n);
+        lo..hi
+    }
+
+    /// Total vertex-state bytes of a partition.
+    pub fn vertex_part_bytes(&self, part: usize) -> u64 {
+        self.spec.len(part) * self.vstate_bytes
+    }
+}
+
+/// A buffered outgoing message (applied by the cluster after the handler
+/// returns, preserving in-handler ordering).
+pub enum Send<P: GasProgram> {
+    /// Route through the fabric from `from` to the addressee's machine.
+    Net {
+        /// Sending machine.
+        from: usize,
+        /// Destination actor.
+        to: Addr,
+        /// Payload size in bytes (for fabric timing).
+        bytes: u64,
+        /// The message.
+        msg: Msg<P>,
+    },
+    /// Deliver to `to` at exactly time `at` (self events, device-completion
+    /// callbacks). No fabric involvement.
+    At {
+        /// Delivery time.
+        at: Time,
+        /// Destination actor.
+        to: Addr,
+        /// The message.
+        msg: Msg<P>,
+    },
+}
+
+/// Handler context: the current time and a buffer of outgoing sends.
+pub struct Ctx<P: GasProgram> {
+    /// Current virtual time.
+    pub now: Time,
+    /// Current protocol generation (bumped on failure recovery).
+    pub gen: u32,
+    pub(crate) out: Vec<Send<P>>,
+}
+
+impl<P: GasProgram> Ctx<P> {
+    /// Creates a context at `now`.
+    pub fn new(now: Time, gen: u32) -> Self {
+        Self {
+            now,
+            gen,
+            out: Vec::new(),
+        }
+    }
+
+    /// Sends `msg` of `bytes` from `from`'s NIC to `to`.
+    pub fn send(&mut self, from: usize, to: Addr, msg: Msg<P>, bytes: u64) {
+        self.out.push(Send::Net {
+            from,
+            to,
+            bytes,
+            msg,
+        });
+    }
+
+    /// Schedules `msg` for delivery to `to` at absolute time `at`.
+    pub fn at(&mut self, at: Time, to: Addr, msg: Msg<P>) {
+        self.out.push(Send::At { at, to, msg });
+    }
+
+    /// Drains the buffered sends.
+    pub(crate) fn take(&mut self) -> Vec<Send<P>> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_index_roundtrip() {
+        let m = 5;
+        for a in [
+            Addr::Compute(0),
+            Addr::Compute(4),
+            Addr::Storage(0),
+            Addr::Storage(4),
+            Addr::Coordinator,
+            Addr::Directory,
+        ] {
+            assert_eq!(Addr::from_index(a.index(m), m), a);
+        }
+    }
+
+    #[test]
+    fn run_params_geometry() {
+        let cfg = ChaosConfig::new(4);
+        let spec = PartitionSpec::with_partitions(1000, 8);
+        let p = RunParams::new(&cfg, spec, 8, 8, 16);
+        assert_eq!(p.master(5), 1);
+        assert_eq!(p.edges_per_chunk, (cfg.chunk_bytes / 8) as usize);
+        // Partition 0 has 125 vertices; verts_per_chunk is large, so one
+        // chunk covering rows 0..125.
+        assert_eq!(p.vertex_chunks(0), 1);
+        assert_eq!(p.vertex_chunk_rows(0, 0), 0..125);
+        assert!(p.vertex_home(0, 0) < 4);
+        assert_eq!(p.vertex_part_bytes(0), 125 * 16);
+    }
+}

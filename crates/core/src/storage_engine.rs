@@ -1,0 +1,482 @@
+//! The storage engine actor (§6 of the paper).
+//!
+//! One storage engine runs per machine, co-located with the computation
+//! engine (Figure 6). It owns the machine's device-queue model, the chunk
+//! sets of every partition's edge and update data that happened to be
+//! placed here, the vertex chunks that hash here, and the page-cache model.
+//!
+//! Key protocol properties implemented here:
+//! - a chunk request is served *in its entirety* before the next (FIFO
+//!   device, §6.2);
+//! - any unprocessed chunk may be returned for a partition, but each chunk
+//!   is served exactly once per iteration (§6.3) — this is what lets
+//!   multiple computation engines share a partition without synchronizing;
+//! - an exhausted engine says so immediately (metadata-only reply);
+//! - update reads that fit the page cache bypass the device (§7, and the
+//!   Conductance effect of §9.1).
+
+use std::sync::Arc;
+
+use chaos_gas::{GasProgram, Update};
+use chaos_graph::Edge;
+use chaos_sim::Time;
+use chaos_storage::{ChunkSet, Device, PageCache, VertexArray};
+
+use chaos_storage::FileBacking;
+
+use crate::msg::{DataKind, Msg, WriteKind, CONTROL_BYTES};
+use crate::runtime::{Addr, Ctx, RunParams};
+
+/// Opens the backing file for one (structure, partition) pair.
+fn open_backing(dir: &std::path::Path, name: &str, part: usize) -> FileBacking {
+    FileBacking::create(&dir.join(format!("{name}-{part}.dat"))).expect("create backing file")
+}
+
+/// Latency of a metadata-only reply (exhausted notices, remaining-bytes
+/// queries) and of page-cache hits.
+const METADATA_NS: Time = 2_000;
+
+/// The storage engine of one machine.
+pub struct StorageEngine<P: GasProgram> {
+    machine: usize,
+    params: Arc<RunParams>,
+    /// Protocol generation for failure recovery.
+    pub gen: u32,
+    /// Device queue model.
+    pub device: Device,
+    cache: PageCache,
+    input: ChunkSet<Edge>,
+    edges: Vec<ChunkSet<Edge>>,
+    redges: Vec<ChunkSet<Edge>>,
+    updates: Vec<ChunkSet<Update<P::Update>>>,
+    vertices: Vec<VertexArray<P::VertexState>>,
+    ckpt_pending: Vec<VertexArray<P::VertexState>>,
+    ckpt_committed: Vec<VertexArray<P::VertexState>>,
+}
+
+impl<P: GasProgram> StorageEngine<P> {
+    /// Creates an empty storage engine. When `spill_dir` is set, edge,
+    /// reverse-edge, update and input chunks live in real files under
+    /// `spill_dir/machine-<i>/` — one file per (partition, structure),
+    /// exactly the layout §7 describes.
+    pub fn new(
+        machine: usize,
+        params: Arc<RunParams>,
+        device: Device,
+        pagecache_bytes: u64,
+        spill_dir: Option<&std::path::Path>,
+    ) -> Self {
+        let parts = params.spec.num_partitions;
+        let dir = spill_dir.map(|d| {
+            let dir = d.join(format!("machine-{machine}"));
+            std::fs::create_dir_all(&dir).expect("create spill directory");
+            dir
+        });
+        let make_edges = |name: &str, p: usize| -> ChunkSet<Edge> {
+            match &dir {
+                Some(d) => ChunkSet::file_backed(
+                    params.edge_bytes,
+                    crate::storage_engine::open_backing(d, name, p),
+                ),
+                None => ChunkSet::in_memory(params.edge_bytes),
+            }
+        };
+        Self {
+            machine,
+            gen: 0,
+            device,
+            cache: PageCache::new(pagecache_bytes),
+            input: make_edges("input", 0),
+            edges: (0..parts).map(|p| make_edges("edges", p)).collect(),
+            redges: (0..parts).map(|p| make_edges("redges", p)).collect(),
+            updates: (0..parts)
+                .map(|p| match &dir {
+                    Some(d) => ChunkSet::file_backed(
+                        params.update_bytes,
+                        open_backing(d, "updates", p),
+                    ),
+                    None => ChunkSet::in_memory(params.update_bytes),
+                })
+                .collect(),
+            vertices: (0..parts)
+                .map(|_| VertexArray::new(params.vstate_bytes))
+                .collect(),
+            ckpt_pending: (0..parts)
+                .map(|_| VertexArray::new(params.vstate_bytes))
+                .collect(),
+            ckpt_committed: (0..parts)
+                .map(|_| VertexArray::new(params.vstate_bytes))
+                .collect(),
+            params,
+        }
+    }
+
+    /// Pre-loads an input chunk during cluster setup (the input edge list
+    /// starts "randomly distributed over all storage devices", §8).
+    pub fn preload_input(&mut self, chunk: Arc<Vec<Edge>>) {
+        self.input
+            .append(chunk)
+            .expect("in-memory chunk set cannot fail");
+    }
+
+    /// Read access to the stored vertex chunks (used by the cluster to
+    /// collect final states).
+    pub fn vertex_chunk(&self, part: usize, chunk_no: u32) -> Option<Arc<Vec<P::VertexState>>> {
+        self.vertices[part].get(chunk_no)
+    }
+
+    /// Read access to the committed checkpoint (tests / recovery).
+    pub fn checkpoint_chunk(
+        &self,
+        part: usize,
+        chunk_no: u32,
+    ) -> Option<Arc<Vec<P::VertexState>>> {
+        self.ckpt_committed[part].get(chunk_no)
+    }
+
+    /// Total edge bytes stored here (post-pre-processing accounting).
+    pub fn edge_bytes_stored(&self) -> u64 {
+        self.edges.iter().map(|c| c.stats().bytes).sum()
+    }
+
+    /// Defers `msg` until the device completes at `at`, then sends it to
+    /// the computation engine of machine `to` with the given wire size.
+    fn respond_at(
+        &self,
+        ctx: &mut Ctx<P>,
+        at: Time,
+        to: usize,
+        msg: Msg<P>,
+        bytes: u64,
+    ) {
+        ctx.at(
+            at,
+            Addr::Storage(self.machine),
+            Msg::StorageRespond {
+                to,
+                bytes,
+                inner: Box::new(msg),
+            },
+        );
+    }
+
+    /// Handles one message.
+    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+        let now = ctx.now;
+        let me = self.machine;
+        match msg {
+            // ------------------------------------------------------ reads
+            Msg::InputChunkReq { from } => match self.input.serve_next().expect("mem io") {
+                Some(data) => {
+                    let bytes = data.len() as u64 * self.params.edge_bytes;
+                    let done = self.device.read(now, bytes);
+                    self.respond_at(
+                        ctx,
+                        done,
+                        from,
+                        Msg::InputChunkResp {
+                            source: me,
+                            data: Some(data),
+                        },
+                        bytes + CONTROL_BYTES,
+                    );
+                }
+                None => self.respond_at(
+                    ctx,
+                    now + METADATA_NS,
+                    from,
+                    Msg::InputChunkResp {
+                        source: me,
+                        data: None,
+                    },
+                    CONTROL_BYTES,
+                ),
+            },
+            Msg::EdgeChunkReq {
+                part,
+                reverse,
+                from,
+            } => {
+                let set = if reverse {
+                    &mut self.redges[part]
+                } else {
+                    &mut self.edges[part]
+                };
+                match set.serve_next().expect("mem io") {
+                    Some(data) => {
+                        let bytes = data.len() as u64 * self.params.edge_bytes;
+                        let done = self.device.read(now, bytes);
+                        self.respond_at(
+                            ctx,
+                            done,
+                            from,
+                            Msg::EdgeChunkResp {
+                                part,
+                                source: me,
+                                data: Some(data),
+                            },
+                            bytes + CONTROL_BYTES,
+                        );
+                    }
+                    None => self.respond_at(
+                        ctx,
+                        now + METADATA_NS,
+                        from,
+                        Msg::EdgeChunkResp {
+                            part,
+                            source: me,
+                            data: None,
+                        },
+                        CONTROL_BYTES,
+                    ),
+                }
+            }
+            Msg::UpdateChunkReq { part, from } => {
+                match self.updates[part].serve_next().expect("mem io") {
+                    Some(data) => {
+                        let bytes = data.len() as u64 * self.params.update_bytes;
+                        let done = if self.cache.read_hits() {
+                            self.device.cache_read(now, bytes) + METADATA_NS
+                        } else {
+                            self.device.read(now, bytes)
+                        };
+                        self.respond_at(
+                            ctx,
+                            done,
+                            from,
+                            Msg::UpdateChunkResp {
+                                part,
+                                source: me,
+                                data: Some(data),
+                            },
+                            bytes + CONTROL_BYTES,
+                        );
+                    }
+                    None => self.respond_at(
+                        ctx,
+                        now + METADATA_NS,
+                        from,
+                        Msg::UpdateChunkResp {
+                            part,
+                            source: me,
+                            data: None,
+                        },
+                        CONTROL_BYTES,
+                    ),
+                }
+            }
+            Msg::VertexChunkReq {
+                part,
+                chunk_no,
+                from,
+            } => {
+                let data = self.vertices[part]
+                    .get(chunk_no)
+                    .expect("vertex chunk must exist at its home engine");
+                let bytes = data.len() as u64 * self.params.vstate_bytes;
+                let done = self.device.read(now, bytes);
+                self.respond_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::VertexChunkResp {
+                        part,
+                        chunk_no,
+                        data,
+                    },
+                    bytes + CONTROL_BYTES,
+                );
+            }
+            Msg::RemainingReq { part, kind, from } => {
+                let bytes = match kind {
+                    DataKind::Edges => self.edges[part].bytes_remaining(),
+                    DataKind::EdgesReverse => self.redges[part].bytes_remaining(),
+                    DataKind::Updates => self.updates[part].bytes_remaining(),
+                    DataKind::Input => self.input.bytes_remaining(),
+                };
+                self.respond_at(
+                    ctx,
+                    now + METADATA_NS,
+                    from,
+                    Msg::RemainingResp { part, bytes },
+                    CONTROL_BYTES,
+                );
+            }
+
+            // ----------------------------------------------------- writes
+            Msg::WriteEdgeChunk {
+                part,
+                reverse,
+                data,
+                from,
+            } => {
+                let bytes = data.len() as u64 * self.params.edge_bytes;
+                let set = if reverse {
+                    &mut self.redges[part]
+                } else {
+                    &mut self.edges[part]
+                };
+                set.append(data).expect("mem io");
+                let done = self.device.write(now, bytes);
+                self.respond_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::WriteAck {
+                        kind: WriteKind::Edges,
+                    },
+                    CONTROL_BYTES,
+                );
+            }
+            Msg::WriteUpdateChunk { part, data, from } => {
+                let bytes = data.len() as u64 * self.params.update_bytes;
+                self.updates[part].append(data).expect("mem io");
+                self.cache.insert(bytes);
+                let done = self.device.write(now, bytes);
+                self.respond_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::WriteAck {
+                        kind: WriteKind::Updates,
+                    },
+                    CONTROL_BYTES,
+                );
+            }
+            Msg::WriteVertexChunk {
+                part,
+                chunk_no,
+                data,
+                from,
+            } => {
+                let bytes = self.vertices[part].put(chunk_no, data);
+                let done = self.device.write(now, bytes);
+                self.respond_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::WriteAck {
+                        kind: WriteKind::Vertices,
+                    },
+                    CONTROL_BYTES,
+                );
+            }
+            Msg::DeleteUpdates { part } => {
+                let bytes = self.updates[part].stats().bytes;
+                self.updates[part].clear().expect("mem io");
+                self.cache.remove(bytes);
+                // Metadata-only; no reply needed.
+            }
+            Msg::ResetEdgeEpoch => {
+                for cs in &mut self.edges {
+                    cs.reset_epoch();
+                }
+                for cs in &mut self.redges {
+                    cs.reset_epoch();
+                }
+                ctx.send(me, Addr::Coordinator, Msg::EpochResetAck, CONTROL_BYTES);
+            }
+
+            // ------------------------------------------------- checkpoint
+            Msg::CheckpointChunk {
+                part,
+                chunk_no,
+                from,
+            } => {
+                let data = self.vertices[part]
+                    .get(chunk_no)
+                    .expect("checkpointing a chunk that exists");
+                let bytes = data.len() as u64 * self.params.vstate_bytes;
+                self.ckpt_pending[part].put(chunk_no, data);
+                // The live chunk was just written by the master's apply and
+                // is still in the cache; the checkpoint copy costs one
+                // device write.
+                let done = self.device.write(now, bytes);
+                self.respond_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::WriteAck {
+                        kind: WriteKind::Checkpoint,
+                    },
+                    CONTROL_BYTES,
+                );
+            }
+            Msg::CheckpointCommit { from } => {
+                // Phase two of the 2-phase protocol: promote pending copies,
+                // dropping the previous checkpoint only now (§6.6).
+                for part in 0..self.ckpt_pending.len() {
+                    let pending = std::mem::replace(
+                        &mut self.ckpt_pending[part],
+                        VertexArray::new(self.params.vstate_bytes),
+                    );
+                    for no in 0..u32::MAX {
+                        match pending.get(no) {
+                            Some(c) => {
+                                self.ckpt_committed[part].put(no, c);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                self.respond_at(
+                    ctx,
+                    now + METADATA_NS,
+                    from,
+                    Msg::CheckpointCommitAck,
+                    CONTROL_BYTES,
+                );
+            }
+
+            // --------------------------------------------------- recovery
+            Msg::Abort { gen, iter: _ } => {
+                self.gen = gen;
+                ctx.gen = gen;
+                // Drop this iteration's partial update sets; rewind edge
+                // cursors; restore vertex chunks from the committed
+                // checkpoint.
+                let mut restored_bytes = 0;
+                for part in 0..self.updates.len() {
+                    let b = self.updates[part].stats().bytes;
+                    self.cache.remove(b);
+                    self.updates[part].clear().expect("mem io");
+                    self.edges[part].reset_epoch();
+                    self.redges[part].reset_epoch();
+                    for no in 0..u32::MAX {
+                        match self.ckpt_committed[part].get(no) {
+                            Some(c) => {
+                                restored_bytes += c.len() as u64 * self.params.vstate_bytes;
+                                self.vertices[part].put(no, c);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                // Restoration I/O: read checkpoint, write live copies.
+                self.device.read(now, restored_bytes);
+                let done = self.device.write(now, restored_bytes);
+                ctx.at(
+                    done,
+                    Addr::Storage(me),
+                    Msg::StorageRespond {
+                        to: usize::MAX, // routed to the coordinator below
+                        bytes: CONTROL_BYTES,
+                        inner: Box::new(Msg::AbortAck),
+                    },
+                );
+            }
+
+            // --------------------------------------------- deferred sends
+            Msg::StorageRespond { to, bytes, inner } => {
+                let dst = if to == usize::MAX {
+                    Addr::Coordinator
+                } else {
+                    Addr::Compute(to)
+                };
+                ctx.send(me, dst, *inner, bytes);
+            }
+
+            other => panic!("storage engine got unexpected message {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Edge-list file I/O.
+//!
+//! The paper's input format is "an unsorted edge list, with each edge
+//! represented by its source and target vertex and an optional weight"
+//! (§8). This module reads and writes that format in two encodings:
+//!
+//! - **binary**: fixed-width little-endian records matching the storage
+//!   byte model (4- or 8-byte ids depending on vertex count, optional
+//!   weight), with a small self-describing header;
+//! - **text**: whitespace-separated `src dst [weight]` lines, `#` comments
+//!   allowed — the de-facto exchange format (SNAP, Graph500).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::size::SizeModel;
+use crate::types::{Edge, InputGraph};
+
+/// Magic bytes of the binary format ("CHAOSEL1").
+const MAGIC: &[u8; 8] = b"CHAOSEL1";
+
+/// Writes the binary edge-list format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_binary(g: &InputGraph, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let sizes = SizeModel::for_graph(g.num_vertices, g.weighted);
+    w.write_all(MAGIC)?;
+    w.write_all(&g.num_vertices.to_le_bytes())?;
+    w.write_all(&g.num_edges().to_le_bytes())?;
+    w.write_all(&[u8::from(g.weighted), sizes.id_bytes as u8])?;
+    for e in &g.edges {
+        if sizes.id_bytes == 4 {
+            w.write_all(&(e.src as u32).to_le_bytes())?;
+            w.write_all(&(e.dst as u32).to_le_bytes())?;
+        } else {
+            w.write_all(&e.src.to_le_bytes())?;
+            w.write_all(&e.dst.to_le_bytes())?;
+        }
+        if g.weighted {
+            w.write_all(&e.weight.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads the binary edge-list format.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error for malformed headers or truncated
+/// payloads, or any underlying I/O error.
+pub fn read_binary(path: &Path) -> std::io::Result<InputGraph> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a chaos edge-list file"));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let num_vertices = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u64buf)?;
+    let num_edges = u64::from_le_bytes(u64buf);
+    let mut flags = [0u8; 2];
+    r.read_exact(&mut flags)?;
+    let weighted = flags[0] != 0;
+    let id_bytes = flags[1] as usize;
+    if id_bytes != 4 && id_bytes != 8 {
+        return Err(bad("unsupported id width"));
+    }
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    let mut id4 = [0u8; 4];
+    let mut w4 = [0u8; 4];
+    for _ in 0..num_edges {
+        let (src, dst) = if id_bytes == 4 {
+            r.read_exact(&mut id4)?;
+            let s = u32::from_le_bytes(id4) as u64;
+            r.read_exact(&mut id4)?;
+            (s, u32::from_le_bytes(id4) as u64)
+        } else {
+            r.read_exact(&mut u64buf)?;
+            let s = u64::from_le_bytes(u64buf);
+            r.read_exact(&mut u64buf)?;
+            (s, u64::from_le_bytes(u64buf))
+        };
+        let weight = if weighted {
+            r.read_exact(&mut w4)?;
+            f32::from_le_bytes(w4)
+        } else {
+            1.0
+        };
+        if src >= num_vertices || dst >= num_vertices {
+            return Err(bad("edge endpoint out of range"));
+        }
+        edges.push(Edge { src, dst, weight });
+    }
+    Ok(InputGraph {
+        num_vertices,
+        edges,
+        weighted,
+    })
+}
+
+/// Writes the text format (`src dst [weight]` per line).
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_text(g: &InputGraph, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# chaos edge list: {} vertices, {} edges", g.num_vertices, g.num_edges())?;
+    for e in &g.edges {
+        if g.weighted {
+            writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+        } else {
+            writeln!(w, "{} {}", e.src, e.dst)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads the text format. Vertices are inferred as `max id + 1` unless any
+/// line fails to parse; weights present on any line make the graph
+/// weighted.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error for unparseable lines.
+pub fn read_text(path: &Path) -> std::io::Result<InputGraph> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let bad = |line: usize, msg: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("line {line}: {msg}"),
+        )
+    };
+    let mut edges = Vec::new();
+    let mut weighted = false;
+    let mut max_id = 0u64;
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let src: u64 = it
+            .next()
+            .ok_or_else(|| bad(no + 1, "missing source"))?
+            .parse()
+            .map_err(|_| bad(no + 1, "bad source id"))?;
+        let dst: u64 = it
+            .next()
+            .ok_or_else(|| bad(no + 1, "missing target"))?
+            .parse()
+            .map_err(|_| bad(no + 1, "bad target id"))?;
+        let weight = match it.next() {
+            Some(tok) => {
+                weighted = true;
+                tok.parse::<f32>().map_err(|_| bad(no + 1, "bad weight"))?
+            }
+            None => 1.0,
+        };
+        max_id = max_id.max(src).max(dst);
+        edges.push(Edge { src, dst, weight });
+    }
+    let num_vertices = if edges.is_empty() { 0 } else { max_id + 1 };
+    Ok(InputGraph {
+        num_vertices,
+        edges,
+        weighted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::rmat::RmatConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("chaos-io-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn binary_roundtrip_unweighted_and_weighted() {
+        for g in [
+            RmatConfig::paper(8).generate(),
+            builder::gnm(50, 300, true, 3),
+        ] {
+            let p = tmp("bin");
+            write_binary(&g, &p).expect("write");
+            let back = read_binary(&p).expect("read");
+            assert_eq!(back.num_vertices, g.num_vertices);
+            assert_eq!(back.weighted, g.weighted);
+            assert_eq!(back.edges.len(), g.edges.len());
+            assert!(back.edges.iter().zip(&g.edges).all(|(a, b)| a == b));
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = builder::gnm(40, 200, true, 5);
+        let p = tmp("txt");
+        write_text(&g, &p).expect("write");
+        let back = read_text(&p).expect("read");
+        assert!(back.weighted);
+        assert_eq!(back.edges.len(), g.edges.len());
+        for (a, b) in back.edges.iter().zip(&g.edges) {
+            assert_eq!((a.src, a.dst), (b.src, b.dst));
+            assert!((a.weight - b.weight).abs() < 1e-4);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn text_accepts_comments_and_blanks() {
+        let p = tmp("cmt");
+        std::fs::write(&p, "# header\n\n0 1\n1 2\n# trailing\n").expect("write");
+        let g = read_text(&p).expect("read");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices, 3);
+        assert!(!g.weighted);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let p = tmp("badbin");
+        std::fs::write(&p, b"NOTCHAOS").expect("write");
+        assert!(read_binary(&p).is_err());
+        std::fs::remove_file(&p).ok();
+
+        let p = tmp("badtxt");
+        std::fs::write(&p, "0 x\n").expect("write");
+        assert!(read_text(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,167 @@
+//! Streaming partitions (§3 of the paper).
+//!
+//! "A streaming partition of a graph consists of a set of vertices that fits
+//! in memory, all of their outgoing edges and all of their incoming
+//! updates." Chaos chooses the number of partitions to be *the smallest
+//! multiple of the number of machines such that the vertex set of each
+//! partition fits into memory*, partitions the vertex set in ranges of
+//! consecutive vertex identifiers, and assigns each edge to the partition of
+//! its source vertex.
+
+use crate::types::{Edge, InputGraph, VertexId};
+
+/// The partitioning of a vertex id space into consecutive ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Total number of vertices.
+    pub num_vertices: u64,
+    /// Number of streaming partitions.
+    pub num_partitions: usize,
+    /// Vertices per partition (last partition may be short).
+    pub stride: u64,
+}
+
+impl PartitionSpec {
+    /// Builds a spec with an explicit partition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_partitions == 0`.
+    pub fn with_partitions(num_vertices: u64, num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        let stride = num_vertices.div_ceil(num_partitions as u64).max(1);
+        Self {
+            num_vertices,
+            num_partitions,
+            stride,
+        }
+    }
+
+    /// Chooses the number of partitions per the paper's rule: the smallest
+    /// multiple of `machines` such that each partition's vertex state fits
+    /// in `memory_budget_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines == 0`, `vertex_state_bytes == 0` or
+    /// `memory_budget_bytes == 0`.
+    pub fn for_memory(
+        num_vertices: u64,
+        vertex_state_bytes: u64,
+        memory_budget_bytes: u64,
+        machines: usize,
+    ) -> Self {
+        assert!(machines > 0 && vertex_state_bytes > 0 && memory_budget_bytes > 0);
+        let verts_per_budget = (memory_budget_bytes / vertex_state_bytes).max(1);
+        // Smallest multiple k*machines with ceil(V / (k*machines)) <= budget.
+        let mut k = 1usize;
+        loop {
+            let parts = k * machines;
+            if num_vertices.div_ceil(parts as u64) <= verts_per_budget {
+                return Self::with_partitions(num_vertices, parts);
+            }
+            k += 1;
+        }
+    }
+
+    /// Partition of a vertex.
+    pub fn partition_of(&self, v: VertexId) -> usize {
+        debug_assert!(v < self.num_vertices);
+        ((v / self.stride) as usize).min(self.num_partitions - 1)
+    }
+
+    /// Vertex id range of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_partitions`.
+    pub fn range(&self, p: usize) -> std::ops::Range<u64> {
+        assert!(p < self.num_partitions);
+        let lo = (p as u64 * self.stride).min(self.num_vertices);
+        let hi = (lo + self.stride).min(self.num_vertices);
+        lo..hi
+    }
+
+    /// Number of vertices in partition `p`.
+    pub fn len(&self, p: usize) -> u64 {
+        let r = self.range(p);
+        r.end - r.start
+    }
+
+    /// True if partition `p` contains no vertices (possible when there are
+    /// more partitions than vertices).
+    pub fn is_empty(&self, p: usize) -> bool {
+        self.len(p) == 0
+    }
+}
+
+/// One pass over the edge list binning edges by the partition of their
+/// source vertex — the *only* pre-processing Chaos does (§3). This in-memory
+/// helper is used by tests and the single-machine baseline; the distributed
+/// engine performs the same pass through its storage protocol.
+pub fn partition_edges(g: &InputGraph, spec: &PartitionSpec) -> Vec<Vec<Edge>> {
+    let mut out = vec![Vec::new(); spec.num_partitions];
+    for e in &g.edges {
+        out[spec.partition_of(e.src)].push(*e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::RmatConfig;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for (n, p) in [(100u64, 7usize), (8, 8), (5, 8), (1, 1), (1000, 3)] {
+            let spec = PartitionSpec::with_partitions(n, p);
+            let mut seen = 0u64;
+            for i in 0..p {
+                let r = spec.range(i);
+                assert_eq!(r.start, seen.min(n));
+                seen = r.end;
+                for v in r {
+                    assert_eq!(spec.partition_of(v), i);
+                }
+            }
+            assert_eq!(seen, n);
+        }
+    }
+
+    #[test]
+    fn for_memory_picks_smallest_multiple() {
+        // 1000 vertices * 8B state = 8000B. Budget 1000B/machine, 4 machines:
+        // k=1: 4 parts, 250 verts = 2000B > 1000 → no.
+        // k=2: 8 parts, 125 verts = 1000B ≤ 1000 → yes.
+        let spec = PartitionSpec::for_memory(1000, 8, 1000, 4);
+        assert_eq!(spec.num_partitions, 8);
+        // Huge budget → exactly one partition per machine.
+        let spec = PartitionSpec::for_memory(1000, 8, 1 << 30, 4);
+        assert_eq!(spec.num_partitions, 4);
+    }
+
+    #[test]
+    fn edges_follow_source_partition() {
+        let g = RmatConfig::paper(8).generate();
+        let spec = PartitionSpec::with_partitions(g.num_vertices, 6);
+        let parts = partition_edges(&g, &spec);
+        assert_eq!(
+            parts.iter().map(Vec::len).sum::<usize>(),
+            g.edges.len(),
+            "no edge lost or duplicated"
+        );
+        for (p, edges) in parts.iter().enumerate() {
+            for e in edges {
+                assert_eq!(spec.partition_of(e.src), p);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partitions_possible() {
+        let spec = PartitionSpec::with_partitions(3, 8);
+        assert!(spec.is_empty(7));
+        assert_eq!((0..8).map(|p| spec.len(p)).sum::<u64>(), 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! BFS and Dijkstra oracles.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::types::{InputGraph, VertexId};
+
+/// Level marker for vertices not reached by BFS.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Distance marker for vertices not reached by SSSP.
+pub const UNREACHABLE_DIST: f32 = f32::INFINITY;
+
+/// Breadth-first levels from `root` following out-edges.
+pub fn bfs_levels(g: &InputGraph, root: VertexId) -> Vec<u32> {
+    let adj = g.adjacency();
+    let mut level = vec![UNREACHED; g.num_vertices as usize];
+    let mut q = VecDeque::new();
+    level[root as usize] = 0;
+    q.push_back(root);
+    while let Some(v) = q.pop_front() {
+        let next = level[v as usize] + 1;
+        for (n, _) in adj.neighbors(v) {
+            if level[n as usize] == UNREACHED {
+                level[n as usize] = next;
+                q.push_back(n);
+            }
+        }
+    }
+    level
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f32,
+    v: VertexId,
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; ties on vertex id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+/// Dijkstra single-source shortest paths over non-negative weights.
+///
+/// # Panics
+///
+/// Panics if the graph contains a negative-weight edge.
+pub fn dijkstra(g: &InputGraph, root: VertexId) -> Vec<f32> {
+    let adj = g.adjacency();
+    let mut dist = vec![UNREACHABLE_DIST; g.num_vertices as usize];
+    let mut heap = BinaryHeap::new();
+    dist[root as usize] = 0.0;
+    heap.push(HeapItem { dist: 0.0, v: root });
+    while let Some(HeapItem { dist: d, v }) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (n, w) in adj.neighbors(v) {
+            assert!(w >= 0.0, "negative weight");
+            let nd = d + w;
+            if nd < dist[n as usize] {
+                dist[n as usize] = nd;
+                heap.push(HeapItem { dist: nd, v: n });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::types::Edge;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = builder::path(5);
+        assert_eq!(bfs_levels(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            bfs_levels(&g, 2),
+            vec![UNREACHED, UNREACHED, 0, 1, 2],
+            "path is directed"
+        );
+    }
+
+    #[test]
+    fn bfs_on_star_and_cycle() {
+        assert_eq!(builder::star(4).num_edges(), 3);
+        assert_eq!(bfs_levels(&builder::star(4), 0), vec![0, 1, 1, 1]);
+        assert_eq!(bfs_levels(&builder::cycle(4), 1), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        let g = InputGraph::new(
+            4,
+            vec![
+                Edge::weighted(0, 3, 10.0),
+                Edge::weighted(0, 1, 1.0),
+                Edge::weighted(1, 2, 1.0),
+                Edge::weighted(2, 3, 1.0),
+            ],
+            true,
+        );
+        assert_eq!(dijkstra(&g, 0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let g = builder::path(3);
+        let d = dijkstra(&g, 2);
+        assert_eq!(d[0], UNREACHABLE_DIST);
+        assert_eq!(d[2], 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! RMAT graph generator (Chakrabarti, Zhan, Faloutsos — SDM 2004).
+//!
+//! The paper's synthetic workloads are RMAT graphs: "a scale-n RMAT graph
+//! has 2^n vertices and 2^(n+4) edges" (§8), i.e. an edge factor of 16.
+
+use chaos_sim::Rng;
+
+use crate::types::{Edge, InputGraph};
+
+/// Configuration of an RMAT generation run.
+#[derive(Debug, Clone)]
+pub struct RmatConfig {
+    /// Scale: the graph has `2^scale` vertices.
+    pub scale: u32,
+    /// Edges per vertex; the paper uses 16.
+    pub edge_factor: u32,
+    /// Quadrant probabilities `(a, b, c)`; `d = 1 - a - b - c`.
+    pub probs: (f64, f64, f64),
+    /// Whether to attach uniform random weights in `(0, 1)`.
+    pub weighted: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The standard Graph500-style parameters used by X-Stream and Chaos:
+    /// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05), edge factor 16.
+    pub fn paper(scale: u32) -> Self {
+        Self {
+            scale,
+            edge_factor: 16,
+            probs: (0.57, 0.19, 0.19),
+            weighted: false,
+            seed: 0xC4A05,
+        }
+    }
+
+    /// Same as [`RmatConfig::paper`] but with random edge weights, for the
+    /// weighted algorithms (SSSP, MCST).
+    pub fn paper_weighted(scale: u32) -> Self {
+        Self {
+            weighted: true,
+            ..Self::paper(scale)
+        }
+    }
+
+    /// Number of vertices this configuration generates.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of edges this configuration generates.
+    pub fn num_edges(&self) -> u64 {
+        self.num_vertices() * self.edge_factor as u64
+    }
+
+    /// Generates the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are malformed (negative or summing above
+    /// one) or if `scale >= 48` (edge counts would overflow practical memory).
+    pub fn generate(&self) -> InputGraph {
+        let (a, b, c) = self.probs;
+        let d = 1.0 - a - b - c;
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0, "bad RMAT probabilities");
+        assert!(self.scale < 48, "scale too large to materialize");
+        let n = self.num_vertices();
+        let m = self.num_edges();
+        let mut rng = Rng::new(self.seed);
+        let mut edges = Vec::with_capacity(m as usize);
+        for _ in 0..m {
+            let (src, dst) = sample_edge(&mut rng, self.scale, (a, b, c));
+            let weight = if self.weighted {
+                // Strictly positive, effectively distinct weights so the
+                // MST oracle comparison is unambiguous.
+                (rng.f64() as f32).max(f32::MIN_POSITIVE)
+            } else {
+                1.0
+            };
+            edges.push(Edge { src, dst, weight });
+        }
+        InputGraph::new(n, edges, self.weighted)
+    }
+}
+
+/// Draws one edge by recursive quadrant descent.
+fn sample_edge(rng: &mut Rng, scale: u32, (a, b, c): (f64, f64, f64)) -> (u64, u64) {
+    let mut src = 0u64;
+    let mut dst = 0u64;
+    for _ in 0..scale {
+        src <<= 1;
+        dst <<= 1;
+        let r = rng.f64();
+        if r < a {
+            // top-left: neither bit set
+        } else if r < a + b {
+            dst |= 1;
+        } else if r < a + b + c {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_spec() {
+        let g = RmatConfig::paper(8).generate();
+        assert_eq!(g.num_vertices, 256);
+        assert_eq!(g.num_edges(), 256 * 16);
+        assert!(!g.weighted);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = RmatConfig::paper(6).generate();
+        let b = RmatConfig::paper(6).generate();
+        assert_eq!(a.edges.len(), b.edges.len());
+        assert!(a.edges.iter().zip(&b.edges).all(|(x, y)| x == y));
+        let mut cfg = RmatConfig::paper(6);
+        cfg.seed ^= 1;
+        let c = cfg.generate();
+        assert!(a.edges.iter().zip(&c.edges).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn skewed_towards_low_ids() {
+        // With a = 0.57 the low-id quadrant dominates, so low vertices see
+        // far more edges than high vertices.
+        let g = RmatConfig::paper(10).generate();
+        let deg = g.out_degrees();
+        let lo: u64 = deg[..512].iter().sum();
+        let hi: u64 = deg[512..].iter().sum();
+        assert!(lo > 2 * hi, "expected skew, got lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn weighted_weights_are_positive_and_varied() {
+        let g = RmatConfig::paper_weighted(6).generate();
+        assert!(g.weighted);
+        assert!(g.edges.iter().all(|e| e.weight > 0.0 && e.weight < 1.0));
+        let first = g.edges[0].weight;
+        assert!(g.edges.iter().any(|e| e.weight != first));
+    }
+
+    #[test]
+    fn edges_within_vertex_range() {
+        let g = RmatConfig::paper(7).generate();
+        assert!(g.edges.iter().all(|e| e.src < 128 && e.dst < 128));
+    }
+}

@@ -1,0 +1,147 @@
+//! Small statistics helpers used by the metrics subsystem.
+
+use crate::time::Time;
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Tracks a byte counter over virtual time and reports average throughput.
+#[derive(Debug, Clone, Default)]
+pub struct RateMeter {
+    bytes: u64,
+    first: Option<Time>,
+    last: Time,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` moved at virtual time `now`.
+    pub fn record(&mut self, now: Time, bytes: u64) {
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = self.last.max(now);
+        self.bytes += bytes;
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average throughput in bytes/second over `[0, horizon]`.
+    pub fn throughput(&self, horizon: Time) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / (horizon as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_throughput() {
+        let mut m = RateMeter::new();
+        m.record(0, 500);
+        m.record(1_000_000_000, 500);
+        assert_eq!(m.bytes(), 1000);
+        assert!((m.throughput(2_000_000_000) - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Page-cache model.
+//!
+//! Unlike X-Stream (direct I/O), Chaos accesses storage through the OS page
+//! cache (§7). The visible consequence in the evaluation is the Conductance
+//! weak-scaling factor below 1: "with a larger number of machines the
+//! updates fit in the buffer cache and do not require storage accesses"
+//! (§9.1). We model the cache as a byte budget per machine: freshly written
+//! update data is resident while it fits; once the resident set overflows
+//! the budget, subsequent reads of that data go to the device.
+
+/// A simple resident-set page-cache model.
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    budget: u64,
+    resident: u64,
+    overflowed: bool,
+}
+
+impl PageCache {
+    /// Creates a cache with `budget` bytes; a zero budget disables caching.
+    pub fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            resident: 0,
+            overflowed: false,
+        }
+    }
+
+    /// Budget in bytes.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Currently tracked resident bytes.
+    pub fn resident(&self) -> u64 {
+        self.resident
+    }
+
+    /// Records `bytes` of freshly written data.
+    pub fn insert(&mut self, bytes: u64) {
+        self.resident += bytes;
+        if self.resident > self.budget {
+            // Once the working set has been pushed through a full cache the
+            // early chunks are evicted; we conservatively mark the whole
+            // epoch uncacheable (reads will mostly miss anyway).
+            self.overflowed = true;
+        }
+    }
+
+    /// Whether a read of previously written data hits the cache.
+    pub fn read_hits(&self) -> bool {
+        self.budget > 0 && !self.overflowed
+    }
+
+    /// Removes `bytes` of tracked data (an update set was deleted after
+    /// gather, §6.1). The overflow marker clears only once everything
+    /// tracked is gone — partially evicted epochs stay uncacheable.
+    pub fn remove(&mut self, bytes: u64) {
+        self.resident = self.resident.saturating_sub(bytes);
+        if self.resident == 0 {
+            self.overflowed = false;
+        }
+    }
+
+    /// Drops tracked data (update sets are deleted after each gather, §6.1).
+    pub fn clear(&mut self) {
+        self.resident = 0;
+        self.overflowed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_until_overflow() {
+        let mut c = PageCache::new(100);
+        c.insert(60);
+        assert!(c.read_hits());
+        c.insert(60);
+        assert!(!c.read_hits(), "overflowed cache stops hitting");
+        c.clear();
+        assert!(c.read_hits());
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn zero_budget_never_hits() {
+        let c = PageCache::new(0);
+        assert!(!c.read_hits());
+    }
+}

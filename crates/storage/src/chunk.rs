@@ -1,0 +1,266 @@
+//! Typed chunk sets with read-once-per-iteration semantics (§6.3).
+//!
+//! Edge and update sets are stored and retrieved one chunk at a time. A
+//! storage engine is free to return *any* unprocessed chunk for a partition
+//! (order independence), but each chunk must be served exactly once per
+//! iteration. Chaos implements this exactly as the paper does: a cursor per
+//! set that only moves forward, reset at iteration boundaries ("the file
+//! pointer is reset to the beginning of the file at the end of each
+//! iteration", §7).
+
+use std::sync::Arc;
+
+use chaos_gas::Record;
+
+use crate::file::FileBacking;
+
+/// Where a chunk's payload lives.
+#[derive(Debug)]
+enum Payload<T> {
+    /// Payload held in memory, shared with readers.
+    Mem(Arc<Vec<T>>),
+    /// Payload in the backing file at `(offset, encoded_len)`.
+    File(u64, u64),
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    payload: Payload<T>,
+    records: u64,
+}
+
+/// Aggregate statistics for a chunk set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkSetStats {
+    /// Number of chunks.
+    pub chunks: u64,
+    /// Total records across chunks.
+    pub records: u64,
+    /// Total storage bytes across chunks (at the configured record width).
+    pub bytes: u64,
+}
+
+/// An append-only set of typed chunks for one (partition, structure) pair.
+///
+/// `record_bytes` is the *storage* width of a record (per the graph's
+/// [`chaos_graph::SizeModel`]), which may differ from the in-memory width;
+/// all byte accounting uses it.
+#[derive(Debug)]
+pub struct ChunkSet<T> {
+    record_bytes: u64,
+    entries: Vec<Entry<T>>,
+    cursor: usize,
+    file: Option<FileBacking>,
+}
+
+impl<T: Record> ChunkSet<T> {
+    /// Creates an in-memory chunk set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_bytes == 0`.
+    pub fn in_memory(record_bytes: u64) -> Self {
+        assert!(record_bytes > 0, "records must occupy storage bytes");
+        Self {
+            record_bytes,
+            entries: Vec::new(),
+            cursor: 0,
+            file: None,
+        }
+    }
+
+    /// Creates a file-backed chunk set; payloads are written through to the
+    /// file and decoded on read.
+    pub fn file_backed(record_bytes: u64, file: FileBacking) -> Self {
+        assert!(record_bytes > 0, "records must occupy storage bytes");
+        Self {
+            record_bytes,
+            entries: Vec::new(),
+            cursor: 0,
+            file: Some(file),
+        }
+    }
+
+    /// Whether this set stores payloads in a file.
+    pub fn is_file_backed(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// Appends a chunk. Returns its storage size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file backend write fails.
+    pub fn append(&mut self, records: Arc<Vec<T>>) -> std::io::Result<u64> {
+        let n = records.len() as u64;
+        let bytes = n * self.record_bytes;
+        let payload = match &mut self.file {
+            Some(f) => {
+                let (off, len) = f.append(records.as_slice())?;
+                Payload::File(off, len)
+            }
+            None => Payload::Mem(records),
+        };
+        self.entries.push(Entry {
+            payload,
+            records: n,
+        });
+        Ok(bytes)
+    }
+
+    /// Serves the next unprocessed chunk for the current iteration, or
+    /// `None` if all chunks have been consumed. Each chunk is returned at
+    /// most once per iteration epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file backend read fails.
+    pub fn serve_next(&mut self) -> std::io::Result<Option<Arc<Vec<T>>>> {
+        if self.cursor >= self.entries.len() {
+            return Ok(None);
+        }
+        let idx = self.cursor;
+        self.cursor += 1;
+        let entry = &self.entries[idx];
+        let data = match &entry.payload {
+            Payload::Mem(a) => Arc::clone(a),
+            Payload::File(off, len) => {
+                let f = self.file.as_mut().expect("file payload without backing");
+                Arc::new(f.read::<T>(*off, *len)?)
+            }
+        };
+        Ok(Some(data))
+    }
+
+    /// Storage bytes not yet consumed this iteration; the master's estimate
+    /// of local remaining work `D / machines` in the steal criterion (§5.4).
+    pub fn bytes_remaining(&self) -> u64 {
+        self.entries[self.cursor..]
+            .iter()
+            .map(|e| e.records * self.record_bytes)
+            .sum()
+    }
+
+    /// Whether every chunk has been served this iteration.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.entries.len()
+    }
+
+    /// Resets the iteration epoch: all chunks become unprocessed again.
+    pub fn reset_epoch(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Deletes all chunks (update sets are deleted after each gather, §6.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if truncating the file backend fails.
+    pub fn clear(&mut self) -> std::io::Result<()> {
+        self.entries.clear();
+        self.cursor = 0;
+        if let Some(f) = &mut self.file {
+            f.truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ChunkSetStats {
+        let records: u64 = self.entries.iter().map(|e| e.records).sum();
+        ChunkSetStats {
+            chunks: self.entries.len() as u64,
+            records,
+            bytes: records * self.record_bytes,
+        }
+    }
+
+    /// Storage bytes of one record.
+    pub fn record_bytes(&self) -> u64 {
+        self.record_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::ScratchDir;
+
+    fn chunk(lo: u64, hi: u64) -> Arc<Vec<u64>> {
+        Arc::new((lo..hi).collect())
+    }
+
+    #[test]
+    fn serve_each_chunk_once_per_epoch() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        cs.append(chunk(0, 10)).unwrap();
+        cs.append(chunk(10, 20)).unwrap();
+        let a = cs.serve_next().unwrap().unwrap();
+        let b = cs.serve_next().unwrap().unwrap();
+        assert!(cs.serve_next().unwrap().is_none());
+        assert!(cs.exhausted());
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+
+        cs.reset_epoch();
+        assert!(!cs.exhausted());
+        assert!(cs.serve_next().unwrap().is_some());
+    }
+
+    #[test]
+    fn bytes_remaining_tracks_cursor() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        cs.append(chunk(0, 10)).unwrap();
+        cs.append(chunk(0, 5)).unwrap();
+        assert_eq!(cs.bytes_remaining(), 120);
+        cs.serve_next().unwrap();
+        assert_eq!(cs.bytes_remaining(), 40);
+        cs.serve_next().unwrap();
+        assert_eq!(cs.bytes_remaining(), 0);
+    }
+
+    #[test]
+    fn stats_and_clear() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        cs.append(chunk(0, 10)).unwrap();
+        assert_eq!(
+            cs.stats(),
+            ChunkSetStats {
+                chunks: 1,
+                records: 10,
+                bytes: 80
+            }
+        );
+        cs.clear().unwrap();
+        assert_eq!(cs.stats(), ChunkSetStats::default());
+        assert!(cs.serve_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn file_backed_roundtrip() {
+        let dir = ScratchDir::new("chaos-chunkset").unwrap();
+        let fb = FileBacking::create(&dir.path().join("edges.dat")).unwrap();
+        let mut cs = ChunkSet::<u64>::file_backed(8, fb);
+        assert!(cs.is_file_backed());
+        cs.append(chunk(0, 100)).unwrap();
+        cs.append(chunk(100, 200)).unwrap();
+        let a = cs.serve_next().unwrap().unwrap();
+        assert_eq!(a.as_slice(), &(0..100).collect::<Vec<_>>()[..]);
+        // Epoch reset re-reads from the file.
+        cs.reset_epoch();
+        let again = cs.serve_next().unwrap().unwrap();
+        assert_eq!(again.as_slice(), a.as_slice());
+        cs.clear().unwrap();
+        assert!(cs.serve_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn record_width_drives_byte_accounting() {
+        // In-memory u64 records accounted at a 4-byte storage width
+        // (compact encoding).
+        let mut cs = ChunkSet::<u64>::in_memory(4);
+        cs.append(chunk(0, 10)).unwrap();
+        assert_eq!(cs.stats().bytes, 40);
+    }
+}

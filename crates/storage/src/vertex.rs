@@ -1,0 +1,90 @@
+//! Chunk-addressed vertex sets (§6.4).
+//!
+//! "Vertex sets are always accessed in their entirety, but they are also
+//! stored as chunks. For vertices, the chunks are mapped to storage engines
+//! using the equivalent of hashing on the partition identifier and the
+//! chunk number." This module stores the chunks of one partition's vertex
+//! set that hashed onto one storage engine.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Vertex-set chunks held by one storage engine, keyed by chunk number.
+#[derive(Debug, Clone)]
+pub struct VertexArray<T> {
+    chunks: BTreeMap<u32, Arc<Vec<T>>>,
+    record_bytes: u64,
+}
+
+impl<T> VertexArray<T> {
+    /// Creates an empty array with the given storage record width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_bytes == 0`.
+    pub fn new(record_bytes: u64) -> Self {
+        assert!(record_bytes > 0);
+        Self {
+            chunks: BTreeMap::new(),
+            record_bytes,
+        }
+    }
+
+    /// Stores (or overwrites) chunk `no`; returns its storage size in bytes.
+    pub fn put(&mut self, no: u32, data: Arc<Vec<T>>) -> u64 {
+        let bytes = data.len() as u64 * self.record_bytes;
+        self.chunks.insert(no, data);
+        bytes
+    }
+
+    /// Reads chunk `no`, if present.
+    pub fn get(&self, no: u32) -> Option<Arc<Vec<T>>> {
+        self.chunks.get(&no).map(Arc::clone)
+    }
+
+    /// Storage size of chunk `no` in bytes (0 if absent).
+    pub fn chunk_bytes(&self, no: u32) -> u64 {
+        self.chunks
+            .get(&no)
+            .map(|c| c.len() as u64 * self.record_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Number of chunks held.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether no chunks are held.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total storage bytes held.
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks
+            .values()
+            .map(|c| c.len() as u64 * self.record_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut va = VertexArray::new(8);
+        va.put(0, Arc::new(vec![1u64, 2, 3]));
+        va.put(2, Arc::new(vec![9u64]));
+        assert_eq!(va.len(), 2);
+        assert_eq!(va.get(0).unwrap().as_slice(), &[1, 2, 3]);
+        assert!(va.get(1).is_none());
+        assert_eq!(va.chunk_bytes(0), 24);
+        assert_eq!(va.total_bytes(), 32);
+        va.put(0, Arc::new(vec![7u64]));
+        assert_eq!(va.get(0).unwrap().as_slice(), &[7]);
+        assert_eq!(va.total_bytes(), 16);
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use chaos::prelude::*;
+
+/// A small cluster config tuned for test graphs: small chunks and a small
+/// memory budget so even tiny graphs exercise multiple partitions, windows
+/// and steals.
+pub fn test_config(machines: usize) -> ChaosConfig {
+    let mut cfg = ChaosConfig::new(machines);
+    cfg.chunk_bytes = 16 * 1024;
+    cfg.mem_budget = 16 * 1024;
+    cfg
+}
+
+/// Relative-tolerance float comparison.
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * b.abs().max(1.0)
+}
+
+/// Directed test graph: RMAT plus a sprinkle of extra randomness.
+pub fn directed_graph(scale: u32) -> InputGraph {
+    RmatConfig::paper(scale).generate()
+}
+
+/// Undirected expansion for the first five Table 1 algorithms.
+pub fn undirected_graph(scale: u32) -> InputGraph {
+    RmatConfig::paper(scale).generate().to_undirected()
+}
+
+/// Weighted undirected graph with distinct weights (MCST, SSSP).
+pub fn weighted_graph(n: u64, extra: u64, seed: u64) -> InputGraph {
+    chaos::graph::builder::connected_weighted(n, extra, seed)
+}

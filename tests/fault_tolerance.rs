@@ -1,0 +1,85 @@
+//! Checkpointing and transient-failure recovery (§6.6).
+
+mod common;
+
+use chaos::prelude::*;
+use common::{directed_graph, test_config};
+
+#[test]
+fn checkpoint_overhead_is_small() {
+    let g = directed_graph(11);
+    let mut cfg = test_config(4);
+    cfg.mem_budget = 1 << 30;
+    let (bare, _) = run_chaos(cfg.clone(), Pagerank::new(5), &g);
+    cfg.checkpoint = true;
+    let (ck, _) = run_chaos(cfg, Pagerank::new(5), &g);
+    let overhead = ck.runtime as f64 / bare.runtime as f64 - 1.0;
+    assert!(overhead >= 0.0);
+    assert!(overhead < 0.15, "checkpoint overhead {overhead:.3} too high");
+}
+
+#[test]
+fn checkpoint_content_matches_final_state_after_completion() {
+    let g = directed_graph(9);
+    let mut cfg = test_config(3);
+    cfg.checkpoint = true;
+    let mut cluster = Cluster::new(cfg, Pagerank::new(3), &g).expect("valid");
+    let _ = cluster.run();
+    // The last committed checkpoint was taken at the final gather barrier,
+    // so it equals the final state.
+    assert_eq!(cluster.final_states(), cluster.checkpoint_states());
+}
+
+#[test]
+fn recovery_reproduces_failure_free_results_exactly() {
+    let g = directed_graph(10);
+    for fail_iter in [1u32, 3] {
+        let mut cfg = test_config(5);
+        cfg.checkpoint = true;
+        let (clean, clean_states) = run_chaos(cfg.clone(), Pagerank::new(4), &g);
+        cfg.failure = Some(FailureSpec {
+            machine: 2,
+            iteration: fail_iter,
+            downtime: 0,
+        });
+        let (failed, failed_states) = run_chaos(cfg, Pagerank::new(4), &g);
+        assert_eq!(
+            clean_states, failed_states,
+            "iter {fail_iter}: recovery must be exact"
+        );
+        assert!(
+            failed.runtime > clean.runtime,
+            "redoing an iteration plus reboot takes longer"
+        );
+        // The reboot delay (30 simulated seconds) dominates the difference.
+        assert!(failed.runtime - clean.runtime >= 30 * chaos::sim::SECS);
+    }
+}
+
+#[test]
+fn recovery_works_for_convergence_driven_algorithms() {
+    // BFS converges by aggregate, exercising end_iteration replay across
+    // the abort path.
+    let g = directed_graph(9).to_undirected();
+    let mut cfg = test_config(4);
+    cfg.checkpoint = true;
+    let (_, clean) = run_chaos(cfg.clone(), Bfs::new(0), &g);
+    cfg.failure = Some(FailureSpec {
+        machine: 0,
+        iteration: 2,
+        downtime: 0,
+    });
+    let (_, failed) = run_chaos(cfg, Bfs::new(0), &g);
+    assert_eq!(clean, failed);
+}
+
+#[test]
+fn failure_requires_checkpointing() {
+    let mut cfg = test_config(2);
+    cfg.failure = Some(FailureSpec {
+        machine: 0,
+        iteration: 1,
+        downtime: 0,
+    });
+    assert!(cfg.validate().is_err());
+}

@@ -1,0 +1,122 @@
+//! Order-independence: the property Chaos is built on.
+//!
+//! §2 of the paper: "Chaos expects the final result of multiple
+//! applications of any of the user-supplied functions Scatter, Gather and
+//! Apply to be independent of the order in which they are applied ...
+//! Chaos takes advantage of this order-independence to achieve an
+//! efficient solution." Storage engines return chunks in arbitrary order
+//! and stealers split updates arbitrarily, so every algorithm must produce
+//! the same result under any edge/update permutation.
+//!
+//! These property tests shuffle the *input edge list* (which permutes both
+//! scatter order and, transitively, gather order in the sequential
+//! executor) and require identical results. Floating-point accumulations
+//! get a tolerance; integer/ordinal algorithms must match exactly.
+
+mod common;
+
+use chaos::prelude::*;
+use chaos::sim::Rng;
+use proptest::prelude::*;
+
+fn shuffled(g: &InputGraph, seed: u64) -> InputGraph {
+    let mut edges = g.edges.clone();
+    Rng::new(seed).shuffle(&mut edges);
+    InputGraph::new(g.num_vertices, edges, g.weighted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bfs_is_order_independent(seed in any::<u64>(), gseed in 0u64..50) {
+        let g = chaos::graph::builder::gnm(120, 600, false, gseed).to_undirected();
+        let a = run_sequential(Bfs::new(0), &g, 10_000).states;
+        let b = run_sequential(Bfs::new(0), &shuffled(&g, seed), 10_000).states;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wcc_is_order_independent(seed in any::<u64>(), gseed in 0u64..50) {
+        let g = chaos::graph::builder::gnm(120, 400, false, gseed).to_undirected();
+        let a = run_sequential(Wcc::new(), &g, 100_000).states;
+        let b = run_sequential(Wcc::new(), &shuffled(&g, seed), 100_000).states;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mis_is_order_independent(seed in any::<u64>(), gseed in 0u64..50) {
+        let g = chaos::graph::builder::gnm(100, 500, false, gseed).to_undirected();
+        let a = run_sequential(Mis::new(7), &g, 10_000).states;
+        let b = run_sequential(Mis::new(7), &shuffled(&g, seed), 10_000).states;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scc_is_order_independent(seed in any::<u64>(), gseed in 0u64..50) {
+        let g = chaos::graph::builder::gnm(80, 400, false, gseed);
+        let a = run_sequential(Scc::new(), &g, 1_000_000).states;
+        let b = run_sequential(Scc::new(), &shuffled(&g, seed), 1_000_000).states;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mcst_total_is_order_independent(seed in any::<u64>(), gseed in 0u64..20) {
+        let g = chaos::graph::builder::connected_weighted(60, 120, gseed);
+        let a = run_sequential(Mcst::new(), &g, 1_000_000);
+        let b = run_sequential(Mcst::new(), &shuffled(&g, seed), 1_000_000);
+        let wa = Mcst::total_weight(&a.iterations);
+        let wb = Mcst::total_weight(&b.iterations);
+        prop_assert!((wa - wb).abs() <= 1e-6 * wa.max(1.0), "{wa} vs {wb}");
+    }
+
+    #[test]
+    fn pagerank_is_order_independent_within_fp_tolerance(
+        seed in any::<u64>(),
+        gseed in 0u64..50,
+    ) {
+        let g = chaos::graph::builder::gnm(100, 800, false, gseed);
+        let a = run_sequential(Pagerank::new(4), &g, 5).states;
+        let b = run_sequential(Pagerank::new(4), &shuffled(&g, seed), 5).states;
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!(
+                ((x.0 - y.0) / x.0.max(1.0)).abs() < 1e-4,
+                "{} vs {}", x.0, y.0
+            );
+        }
+    }
+
+    #[test]
+    fn sssp_is_order_independent(seed in any::<u64>(), gseed in 0u64..20) {
+        let g = chaos::graph::builder::connected_weighted(80, 200, gseed);
+        let a = run_sequential(Sssp::new(0), &g, 100_000).states;
+        let b = run_sequential(Sssp::new(0), &shuffled(&g, seed), 100_000).states;
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x.0 - y.0).abs() < 1e-4 * x.0.max(1.0));
+        }
+    }
+
+    #[test]
+    fn conductance_counts_are_order_independent(seed in any::<u64>(), gseed in 0u64..50) {
+        let g = chaos::graph::builder::gnm(100, 700, false, gseed);
+        let a = run_sequential(Conductance::new(3), &g, 2);
+        let b = run_sequential(Conductance::new(3), &shuffled(&g, seed), 2);
+        prop_assert_eq!(
+            Conductance::counts(a.final_aggregates()),
+            Conductance::counts(b.final_aggregates())
+        );
+    }
+}
+
+/// The distributed engine permutes far more aggressively than an edge-list
+/// shuffle (random chunk placement, random service order, stealing); the
+/// engine-vs-shuffled-sequential cross-check closes the loop.
+#[test]
+fn distributed_engine_agrees_with_shuffled_sequential() {
+    let g = chaos::graph::builder::gnm(200, 1500, false, 9).to_undirected();
+    let seq = run_sequential(Wcc::new(), &shuffled(&g, 0xABCD), 100_000).states;
+    let mut cfg = common::test_config(4);
+    cfg.steal_alpha = f64::INFINITY; // maximal replication of gather work
+    let (_, dist) = run_chaos(cfg, Wcc::new(), &g);
+    assert_eq!(seq, dist);
+}
