@@ -75,7 +75,7 @@ impl GridPartitioner {
         let rows = (machines as f64).sqrt().floor() as usize;
         let rows = (1..=rows.max(1))
             .rev()
-            .find(|r| machines % r == 0)
+            .find(|r| machines.is_multiple_of(*r))
             .unwrap_or(1);
         Self {
             machines,
@@ -127,8 +127,7 @@ impl GridPartitioner {
             let chosen = best.unwrap_or_else(|| {
                 // Degenerate grids (1 x m): fall back to the less loaded of
                 // the two cells.
-                let a = cu[load[cu[0]] as usize % cu.len()];
-                a
+                cu[load[cu[0]] as usize % cu.len()]
             });
             load[chosen] += 1;
             replicas[e.src as usize].insert(chosen as u32);

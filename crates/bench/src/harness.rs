@@ -49,14 +49,19 @@ impl Scale {
     }
 }
 
+/// Cache of RMAT graphs keyed on (scale, undirected, weighted).
+type GraphCache = Rc<RefCell<HashMap<(u32, bool, bool), Rc<InputGraph>>>>;
+/// Cache of web graphs keyed on (pages, undirected).
+type WebGraphCache = Rc<RefCell<HashMap<(u64, bool), Rc<InputGraph>>>>;
+
 /// Cached-graph experiment driver.
 pub struct Harness {
     /// Active sizing.
     pub scale: Scale,
     /// Algorithm knobs (PR/BP iterations, seeds, roots).
     pub params: AlgoParams,
-    graphs: Rc<RefCell<HashMap<(u32, bool, bool), Rc<InputGraph>>>>,
-    webgraphs: Rc<RefCell<HashMap<(u64, bool), Rc<InputGraph>>>>,
+    graphs: GraphCache,
+    webgraphs: WebGraphCache,
     start: Instant,
 }
 

@@ -1,10 +1,15 @@
-//! The simulated cluster: wiring, event loop and run reports.
+//! The simulated cluster: wiring and run reports.
 //!
 //! A [`Cluster`] owns one computation engine and one storage engine per
 //! machine (Figure 6), the barrier coordinator, the optional centralized
-//! directory, the fabric model and the event queue. `run()` executes the
-//! whole computation — pre-processing from the unsorted edge list through
-//! convergence — on the virtual clock and returns a [`RunReport`].
+//! directory and the fabric model. The event loop itself lives in
+//! `chaos-runtime`: the cluster builds a [`ClusterScheduler`] over the
+//! [`ClusterTopology`] and hands it the four actor kinds as one table
+//! ordered by scheduler slot — all dispatch, generation filtering and
+//! fabric routing happen behind the generic [`Actor`] trait. `run()`
+//! executes the whole computation — pre-processing from the unsorted edge
+//! list through convergence — on the virtual clock and returns a
+//! [`RunReport`].
 //!
 //! The run is deterministic: same (config, program, graph) ⇒ same final
 //! vertex states *and* same simulated completion time.
@@ -14,7 +19,8 @@ use std::sync::Arc;
 use chaos_gas::GasProgram;
 use chaos_graph::{InputGraph, PartitionSpec, SizeModel};
 use chaos_net::Fabric;
-use chaos_sim::{EventQueue, Rng};
+use chaos_runtime::{Actor, Scheduler};
+use chaos_sim::Rng;
 use chaos_storage::Device;
 
 use crate::compute_engine::ComputeEngine;
@@ -23,28 +29,20 @@ use crate::coordinator::Coordinator;
 use crate::directory::Directory;
 use crate::metrics::RunReport;
 use crate::msg::{DataKind, Msg};
-use crate::runtime::{Addr, Ctx, RunParams, Send as OutSend};
+use crate::runtime::{Addr, ClusterScheduler, ClusterTopology, Ctx, RunParams};
 use crate::storage_engine::StorageEngine;
-
-struct Envelope<P: GasProgram> {
-    gen: u32,
-    msg: Msg<P>,
-}
 
 /// A fully wired simulated Chaos cluster, ready to run one computation.
 pub struct Cluster<P: GasProgram> {
     cfg: Arc<ChaosConfig>,
     params: Arc<RunParams>,
-    queue: EventQueue<Envelope<P>>,
+    sched: ClusterScheduler<P>,
     fabric: Fabric,
     computes: Vec<ComputeEngine<P>>,
     storages: Vec<StorageEngine<P>>,
     coordinator: Coordinator<P>,
     directory: Directory<P>,
     started: bool,
-    /// Safety valve for the event loop (a wedged protocol would otherwise
-    /// spin forever); generously above any legitimate run.
-    pub max_events: u64,
 }
 
 impl<P: GasProgram> Cluster<P> {
@@ -117,16 +115,22 @@ impl<P: GasProgram> Cluster<P> {
             cfg.failure,
             cfg.placement == Placement::Centralized,
         );
+        let topology = ClusterTopology {
+            machines: cfg.machines,
+        };
+        // Safety valve for the event loop (a wedged protocol would
+        // otherwise spin forever); generously above any legitimate run.
+        let mut sched = Scheduler::new(topology);
+        sched.max_events = 20_000_000_000;
         Ok(Self {
             params,
-            queue: EventQueue::new(),
+            sched,
             fabric,
             computes,
             storages,
             coordinator,
             directory,
             started: false,
-            max_events: 20_000_000_000,
             cfg,
         })
     }
@@ -136,47 +140,9 @@ impl<P: GasProgram> Cluster<P> {
         &self.params
     }
 
-    fn actor_gen(&self, addr: Addr) -> u32 {
-        match addr {
-            Addr::Compute(i) => self.computes[i].gen,
-            Addr::Storage(i) => self.storages[i].gen,
-            Addr::Coordinator => self.coordinator.gen,
-            Addr::Directory => 0,
-        }
-    }
-
-    fn dispatch(&mut self, addr: Addr, ctx: &mut Ctx<P>, msg: Msg<P>) {
-        match addr {
-            Addr::Compute(i) => self.computes[i].handle(ctx, msg),
-            Addr::Storage(i) => self.storages[i].handle(ctx, msg),
-            Addr::Coordinator => self.coordinator.handle(ctx, msg),
-            Addr::Directory => self.directory.handle(ctx, msg),
-        }
-    }
-
-    fn drain(&mut self, ctx: &mut Ctx<P>) {
-        let m = self.cfg.machines;
-        for s in ctx.take() {
-            match s {
-                OutSend::Net {
-                    from,
-                    to,
-                    bytes,
-                    msg,
-                } => {
-                    let arrival = self.fabric.send(ctx.now, from, to.machine(), bytes);
-                    self.queue.push(
-                        arrival,
-                        to.index(m),
-                        Envelope { gen: ctx.gen, msg },
-                    );
-                }
-                OutSend::At { at, to, msg } => {
-                    self.queue
-                        .push(at, to.index(m), Envelope { gen: ctx.gen, msg });
-                }
-            }
-        }
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
     }
 
     /// Runs the computation to completion and returns the report.
@@ -189,27 +155,27 @@ impl<P: GasProgram> Cluster<P> {
     pub fn run(&mut self) -> RunReport {
         assert!(!self.started, "a cluster instance runs exactly once");
         self.started = true;
-        let m = self.cfg.machines;
         // Kick off pre-processing on every machine at t = 0.
-        for i in 0..m {
+        for c in &mut self.computes {
             let mut ctx = Ctx::new(0, 0);
-            self.computes[i].start(&mut ctx);
-            self.drain(&mut ctx);
+            c.start(&mut ctx);
+            self.sched.absorb(&mut ctx, &mut self.fabric);
         }
-        while let Some(ev) = self.queue.pop() {
-            assert!(
-                self.queue.delivered() < self.max_events,
-                "event budget exceeded; protocol likely wedged"
-            );
-            let addr = Addr::from_index(ev.dst, m);
-            let actor_gen = self.actor_gen(addr);
-            if ev.msg.gen < actor_gen {
-                continue; // Stale pre-abort message.
-            }
-            let mut ctx = Ctx::new(ev.time, actor_gen.max(ev.msg.gen));
-            self.dispatch(addr, &mut ctx, ev.msg.msg);
-            self.drain(&mut ctx);
-        }
+        // The actor table, ordered by `ClusterTopology` slot: computes,
+        // storages, then the two singletons.
+        let mut actors: Vec<&mut dyn Actor<Addr = Addr, Msg = Msg<P>>> = self
+            .computes
+            .iter_mut()
+            .map(|c| c as &mut dyn Actor<Addr = Addr, Msg = Msg<P>>)
+            .chain(
+                self.storages
+                    .iter_mut()
+                    .map(|s| s as &mut dyn Actor<Addr = Addr, Msg = Msg<P>>),
+            )
+            .collect();
+        actors.push(&mut self.coordinator);
+        actors.push(&mut self.directory);
+        self.sched.run(&mut actors, &mut self.fabric);
         assert!(
             self.coordinator.done && self.computes.iter().all(|c| c.is_done()),
             "event queue drained before completion: protocol deadlock"
@@ -219,7 +185,7 @@ impl<P: GasProgram> Cluster<P> {
 
     fn report(&self) -> RunReport {
         RunReport {
-            runtime: self.queue.now(),
+            runtime: self.sched.now(),
             preprocess_time: self.coordinator.preprocess_end,
             iterations: self.coordinator.history.len() as u32,
             iteration_aggs: self.coordinator.history.clone(),
@@ -233,7 +199,7 @@ impl<P: GasProgram> Cluster<P> {
             fabric: self.fabric.stats(),
             steals: self.computes.iter().map(|c| c.steals).sum(),
             partitions: self.params.spec.num_partitions,
-            events: self.queue.delivered(),
+            events: self.sched.delivered(),
         }
     }
 

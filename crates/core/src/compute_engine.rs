@@ -12,12 +12,16 @@ use std::sync::Arc;
 
 use chaos_gas::{Direction, GasProgram, IterationAggregates, Update};
 use chaos_graph::Edge;
+use chaos_runtime::Actor;
 use chaos_sim::{Resource, Rng, Time};
 
 use crate::config::{ChaosConfig, Placement};
 use crate::metrics::Breakdown;
 use crate::msg::{DataKind, Msg, PhaseKind, Work, WriteKind, CONTROL_BYTES};
 use crate::runtime::{Addr, Ctx, RunParams};
+
+/// Update chunks grouped by destination partition, ready to flush.
+type PartitionedUpdates<P> = Vec<(usize, Arc<Vec<Update<<P as GasProgram>::Update>>>)>;
 
 /// Progress of one partition being streamed (scatter or gather).
 struct PartWork<P: GasProgram> {
@@ -33,7 +37,11 @@ struct PartWork<P: GasProgram> {
     /// Scatter-side update output buffers, one per destination partition.
     out_bufs: Vec<Vec<Update<P::Update>>>,
     outstanding: usize,
-    requested: Vec<bool>,
+    /// In-flight requests per storage engine. A count, not a flag: with an
+    /// oversubscribed window (> machine count) two requests can target the
+    /// same engine, and the first response must not mark the engine free
+    /// while the second is still in flight.
+    requested: Vec<u32>,
     exhausted: Vec<bool>,
     exhausted_count: usize,
     inflight_compute: usize,
@@ -54,7 +62,7 @@ impl<P: GasProgram> PartWork<P> {
             accums: Vec::new(),
             out_bufs: (0..parts).map(|_| Vec::new()).collect(),
             outstanding: 0,
-            requested: vec![false; machines],
+            requested: vec![0; machines],
             exhausted: vec![false; machines],
             exhausted_count: 0,
             inflight_compute: 0,
@@ -112,7 +120,8 @@ impl StealScan {
 /// Pre-processing progress.
 struct Preprocess<P: GasProgram> {
     outstanding: usize,
-    requested: Vec<bool>,
+    /// In-flight input requests per storage engine (see [`PartWork::requested`]).
+    requested: Vec<u32>,
     exhausted: Vec<bool>,
     exhausted_count: usize,
     dir_exhausted: bool,
@@ -222,7 +231,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             iter: 0,
             pp: Preprocess {
                 outstanding: 0,
-                requested: vec![false; m],
+                requested: vec![0; m],
                 exhausted: vec![false; m],
                 exhausted_count: 0,
                 dir_exhausted: false,
@@ -348,7 +357,7 @@ impl<P: GasProgram> ComputeEngine<P> {
                 ) else {
                     break;
                 };
-                self.pp.requested[target] = true;
+                self.pp.requested[target] += 1;
                 self.pp.outstanding += 1;
                 ctx.send(
                     self.machine,
@@ -375,7 +384,7 @@ impl<P: GasProgram> ComputeEngine<P> {
     fn on_input_chunk(&mut self, ctx: &mut Ctx<P>, source: Option<usize>, data: Option<Arc<Vec<Edge>>>) {
         self.pp.outstanding -= 1;
         if let Some(s) = source {
-            self.pp.requested[s] = false;
+            self.pp.requested[s] = self.pp.requested[s].saturating_sub(1);
         }
         match data {
             Some(chunk) => {
@@ -760,7 +769,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             else {
                 break;
             };
-            w.requested[target] = true;
+            w.requested[target] += 1;
             w.outstanding += 1;
             let msg = match kind {
                 DataKind::Edges => Msg::EdgeChunkReq {
@@ -834,7 +843,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             }
             w.outstanding -= 1;
             if let Some(s) = source {
-                w.requested[s] = false;
+                w.requested[s] = w.requested[s].saturating_sub(1);
             }
         }
         match data {
@@ -892,7 +901,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             }
         }
         w.inflight_compute -= 1;
-        let chunks: Vec<(usize, Arc<Vec<Update<P::Update>>>)> = flushes
+        let chunks: PartitionedUpdates<P> = flushes
             .into_iter()
             .map(|tp| (tp, Arc::new(std::mem::take(&mut w.out_bufs[tp]))))
             .collect();
@@ -970,7 +979,7 @@ impl<P: GasProgram> ComputeEngine<P> {
         match self.phase {
             PhaseKind::Scatter => {
                 // Flush partial update buffers, then the partition is done.
-                let bufs: Vec<(usize, Arc<Vec<Update<P::Update>>>)> = {
+                let bufs: PartitionedUpdates<P> = {
                     let w = self.work.as_mut().expect("checked above");
                     let mut out = Vec::new();
                     for tp in 0..w.out_bufs.len() {
@@ -1369,12 +1378,22 @@ impl<P: GasProgram> ComputeEngine<P> {
         ctx.send(self.machine, Addr::Coordinator, Msg::AbortAck, CONTROL_BYTES);
     }
 
-    // ------------------------------------------------------------------
-    // Dispatch
-    // ------------------------------------------------------------------
+}
+
+// ----------------------------------------------------------------------
+// Dispatch
+// ----------------------------------------------------------------------
+
+impl<P: GasProgram> Actor for ComputeEngine<P> {
+    type Addr = Addr;
+    type Msg = Msg<P>;
+
+    fn generation(&self) -> u32 {
+        self.gen
+    }
 
     /// Handles one message.
-    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+    fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
         match msg {
             Msg::InputChunkResp { source, data } => {
                 self.on_input_chunk(ctx, Some(source), data);
@@ -1491,9 +1510,11 @@ impl<P: GasProgram> ComputeEngine<P> {
             other => panic!("compute engine got unexpected message {other:?}"),
         }
     }
+}
 
-    // Directory plumbing -------------------------------------------------
+// Directory plumbing ---------------------------------------------------
 
+impl<P: GasProgram> ComputeEngine<P> {
     fn on_dir_write_resp(
         &mut self,
         ctx: &mut Ctx<P>,
@@ -1609,7 +1630,7 @@ impl<P: GasProgram> ComputeEngine<P> {
 /// regime).
 fn pick_engine(
     rng: &mut Rng,
-    requested: &[bool],
+    requested: &[u32],
     exhausted: &[bool],
     local: Option<usize>,
     oversubscribe: bool,
@@ -1620,7 +1641,7 @@ fn pick_engine(
         return (!exhausted[l]).then_some(l);
     }
     let eligible: Vec<usize> = (0..requested.len())
-        .filter(|&e| !requested[e] && !exhausted[e])
+        .filter(|&e| requested[e] == 0 && !exhausted[e])
         .collect();
     if !eligible.is_empty() {
         return Some(eligible[rng.below(eligible.len() as u64) as usize]);
@@ -1632,4 +1653,86 @@ fn pick_engine(
         }
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pick_engine;
+    use chaos_sim::Rng;
+
+    #[test]
+    fn pick_engine_prefers_idle_engines() {
+        let mut rng = Rng::new(1);
+        // Engine 0 has an in-flight request; only engine 1 is eligible.
+        for _ in 0..32 {
+            assert_eq!(
+                pick_engine(&mut rng, &[1, 0], &[false, false], None, true),
+                Some(1)
+            );
+        }
+    }
+
+    /// Regression: with an oversubscribed window, two requests may be in
+    /// flight to one engine. After the *first* response the engine must
+    /// still count as busy — a boolean flag would have marked it free and
+    /// skewed the window accounting.
+    #[test]
+    fn one_response_does_not_clear_a_doubly_requested_engine() {
+        let mut rng = Rng::new(2);
+        let mut requested = vec![0u32, 0];
+        // Window of 3 over 2 engines: one request each, then the fallback
+        // doubles up on engine 0.
+        requested[0] += 1;
+        requested[1] += 1;
+        requested[0] += 1;
+        // First response from engine 0 arrives; one request is still in
+        // flight there.
+        requested[0] = requested[0].saturating_sub(1);
+        assert_eq!(requested[0], 1, "second request still in flight");
+        // With booleans the response would have freed engine 0 and the
+        // next pick could target it as "idle"; with counts there is no
+        // idle engine, so a non-oversubscribed pick finds nothing.
+        assert_eq!(
+            pick_engine(&mut rng, &requested, &[false, false], None, false),
+            None
+        );
+        // Once the second response drains engine 0, it is idle again.
+        requested[0] = requested[0].saturating_sub(1);
+        for _ in 0..32 {
+            assert_eq!(
+                pick_engine(&mut rng, &requested, &[false, false], None, false),
+                Some(0)
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribe_falls_back_to_busy_engines_only_when_all_are_busy() {
+        let mut rng = Rng::new(3);
+        let requested = vec![1u32, 2];
+        // Without oversubscription: nothing to pick.
+        assert_eq!(
+            pick_engine(&mut rng, &requested, &[false, false], None, false),
+            None
+        );
+        // With oversubscription: any non-exhausted engine may be doubled up.
+        let pick = pick_engine(&mut rng, &requested, &[false, true], None, true);
+        assert_eq!(pick, Some(0), "exhausted engines are never picked");
+    }
+
+    #[test]
+    fn local_only_ignores_inflight_counts() {
+        let mut rng = Rng::new(4);
+        // LocalOnly placement funnels everything to one engine; its device
+        // queue serializes, so in-flight counts do not gate it.
+        assert_eq!(
+            pick_engine(&mut rng, &[5, 0], &[false, false], Some(0), false),
+            Some(0)
+        );
+        assert_eq!(
+            pick_engine(&mut rng, &[5, 0], &[true, false], Some(0), false),
+            None,
+            "but an exhausted local engine ends the stream"
+        );
+    }
 }

@@ -9,6 +9,7 @@
 //! between iterations, and drives transient-failure recovery (§6.6).
 
 use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_runtime::Actor;
 use chaos_sim::Time;
 
 use crate::config::FailureSpec;
@@ -133,8 +134,50 @@ impl<P: GasProgram> Coordinator<P> {
         }
     }
 
+    fn start_abort(&mut self, ctx: &mut Ctx<P>) {
+        self.gen += 1;
+        ctx.gen = self.gen;
+        self.arrived = 0;
+        self.agg = IterationAggregates::default();
+        // All engines abandon the iteration; storage restores checkpoints.
+        self.abort_acks = 2 * self.machines;
+        for i in 0..self.machines {
+            ctx.send(
+                0,
+                Addr::Compute(i),
+                Msg::Abort {
+                    gen: self.gen,
+                    iter: self.iter,
+                },
+                CONTROL_BYTES,
+            );
+            ctx.send(
+                0,
+                Addr::Storage(i),
+                Msg::Abort {
+                    gen: self.gen,
+                    iter: self.iter,
+                },
+                CONTROL_BYTES,
+            );
+        }
+        // The failed machine rejoins after its reboot delay.
+        let downtime = 30 * chaos_sim::SECS;
+        self.reboot_pending = true;
+        ctx.at(ctx.now + downtime, Addr::Coordinator, Msg::RebootDone);
+    }
+}
+
+impl<P: GasProgram> Actor for Coordinator<P> {
+    type Addr = Addr;
+    type Msg = Msg<P>;
+
+    fn generation(&self) -> u32 {
+        self.gen
+    }
+
     /// Handles one message.
-    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+    fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
         match msg {
             Msg::BarrierArrive { from: _, agg } => {
                 // Failure injection: interrupt the configured scatter phase
@@ -173,38 +216,5 @@ impl<P: GasProgram> Coordinator<P> {
             }
             other => panic!("coordinator got unexpected message {other:?}"),
         }
-    }
-
-    fn start_abort(&mut self, ctx: &mut Ctx<P>) {
-        self.gen += 1;
-        ctx.gen = self.gen;
-        self.arrived = 0;
-        self.agg = IterationAggregates::default();
-        // All engines abandon the iteration; storage restores checkpoints.
-        self.abort_acks = 2 * self.machines;
-        for i in 0..self.machines {
-            ctx.send(
-                0,
-                Addr::Compute(i),
-                Msg::Abort {
-                    gen: self.gen,
-                    iter: self.iter,
-                },
-                CONTROL_BYTES,
-            );
-            ctx.send(
-                0,
-                Addr::Storage(i),
-                Msg::Abort {
-                    gen: self.gen,
-                    iter: self.iter,
-                },
-                CONTROL_BYTES,
-            );
-        }
-        // The failed machine rejoins after its reboot delay.
-        let downtime = 30 * chaos_sim::SECS;
-        self.reboot_pending = true;
-        ctx.at(ctx.now + downtime, Addr::Coordinator, Msg::RebootDone);
     }
 }

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use chaos_gas::GasProgram;
+use chaos_runtime::Actor;
 use chaos_sim::Resource;
 
 use crate::msg::{DataKind, Msg, CONTROL_BYTES};
@@ -58,9 +59,14 @@ impl<P: GasProgram> Directory<P> {
         entry.0[engine] += 1;
         entry.1[engine] += 1;
     }
+}
+
+impl<P: GasProgram> Actor for Directory<P> {
+    type Addr = Addr;
+    type Msg = Msg<P>;
 
     /// Handles one message.
-    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+    fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
         match msg {
             Msg::DirWrite { part, kind, from } => {
                 let done = self.ops.serve(ctx.now, 1);
@@ -88,9 +94,8 @@ impl<P: GasProgram> Directory<P> {
                         (0..m)
                             .map(|i| (start + i) % m)
                             .find(|&e| avail[e] > 0)
-                            .map(|e| {
+                            .inspect(|&e| {
                                 avail[e] -= 1;
-                                e
                             })
                     });
                 self.rr += 1;

@@ -18,8 +18,17 @@
 //! The cluster itself is simulated on a deterministic discrete-event
 //! kernel (`chaos-sim`): every protocol message is really exchanged and
 //! every scatter/gather function really computed, while devices, NICs and
-//! CPUs are queueing models. See `DESIGN.md` at the repository root for
-//! the fidelity argument and the experiment index.
+//! CPUs are queueing models. The four actor kinds — [`ComputeEngine`],
+//! [`StorageEngine`], [`Coordinator`] and [`Directory`] — implement the
+//! generic `chaos_runtime::Actor` trait and are driven by the extracted
+//! `chaos-runtime` scheduler; [`Cluster`] is thin wiring over it. See
+//! `DESIGN.md` at the repository root for the fidelity argument and the
+//! experiment index.
+//!
+//! [`ComputeEngine`]: compute_engine::ComputeEngine
+//! [`StorageEngine`]: storage_engine::StorageEngine
+//! [`Coordinator`]: coordinator::Coordinator
+//! [`Directory`]: directory::Directory
 //!
 //! # Examples
 //!
@@ -47,6 +56,8 @@ pub mod runtime;
 pub mod storage_engine;
 
 pub use capacity::{CapacityModel, CapacityPrediction};
+pub use chaos_runtime::{Actor, Network, Scheduler, Topology};
 pub use cluster::{run_chaos, Cluster};
 pub use config::{ChaosConfig, FailureSpec, Placement};
 pub use metrics::{Breakdown, RunReport};
+pub use runtime::{Addr, ChaosActor, ClusterScheduler, ClusterTopology, RunParams};

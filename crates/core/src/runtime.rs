@@ -1,13 +1,28 @@
-//! Actor addressing, run-wide derived parameters and the send context.
-
+//! Chaos-specific runtime wiring over the generic actor layer.
+//!
+//! The event loop, send context, envelope/generation filtering and network
+//! routing live in `chaos-runtime`; this module contributes only what is
+//! specific to a Chaos cluster: the actor address space ([`Addr`]), its
+//! mapping onto scheduler slots and machines ([`ClusterTopology`]), and the
+//! run-wide derived parameters ([`RunParams`]).
 
 use chaos_gas::GasProgram;
 use chaos_graph::PartitionSpec;
+use chaos_runtime::Topology;
 use chaos_sim::rng::mix2;
-use chaos_sim::Time;
 
 use crate::config::{ChaosConfig, Placement};
 use crate::msg::Msg;
+
+/// Handler context for Chaos actors (generic context over [`Addr`] and
+/// [`Msg`]).
+pub type Ctx<P> = chaos_runtime::Ctx<Addr, Msg<P>>;
+
+/// A buffered outgoing Chaos message.
+pub type Send<P> = chaos_runtime::Send<Addr, Msg<P>>;
+
+/// The scheduler driving a Chaos cluster.
+pub type ClusterScheduler<P> = chaos_runtime::Scheduler<ClusterTopology, Msg<P>>;
 
 /// Address of an actor in the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,25 +46,45 @@ impl Addr {
             Addr::Coordinator | Addr::Directory => 0,
         }
     }
+}
 
-    /// Dense index for the event queue (computes, then storages, then the
-    /// two singletons).
-    pub fn index(&self, machines: usize) -> usize {
-        match self {
-            Addr::Compute(i) => *i,
-            Addr::Storage(i) => machines + *i,
-            Addr::Coordinator => 2 * machines,
-            Addr::Directory => 2 * machines + 1,
+/// Maps [`Addr`]s onto dense scheduler slots: computes first, then
+/// storages, then the two singletons.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterTopology {
+    /// Machine count.
+    pub machines: usize,
+}
+
+impl Topology for ClusterTopology {
+    type Addr = Addr;
+
+    fn slots(&self) -> usize {
+        2 * self.machines + 2
+    }
+
+    fn slot(&self, addr: Addr) -> usize {
+        match addr {
+            Addr::Compute(i) => i,
+            Addr::Storage(i) => self.machines + i,
+            Addr::Coordinator => 2 * self.machines,
+            Addr::Directory => 2 * self.machines + 1,
         }
     }
 
-    /// Inverse of [`Addr::index`].
-    pub fn from_index(idx: usize, machines: usize) -> Addr {
-        if idx < machines {
-            Addr::Compute(idx)
-        } else if idx < 2 * machines {
-            Addr::Storage(idx - machines)
-        } else if idx == 2 * machines {
+    fn machine(&self, addr: Addr) -> usize {
+        addr.machine()
+    }
+}
+
+impl ClusterTopology {
+    /// Inverse of [`Topology::slot`] (diagnostics).
+    pub fn addr_of(&self, slot: usize) -> Addr {
+        if slot < self.machines {
+            Addr::Compute(slot)
+        } else if slot < 2 * self.machines {
+            Addr::Storage(slot - self.machines)
+        } else if slot == 2 * self.machines {
             Addr::Coordinator
         } else {
             Addr::Directory
@@ -143,79 +178,20 @@ impl RunParams {
     }
 }
 
-/// A buffered outgoing message (applied by the cluster after the handler
-/// returns, preserving in-handler ordering).
-pub enum Send<P: GasProgram> {
-    /// Route through the fabric from `from` to the addressee's machine.
-    Net {
-        /// Sending machine.
-        from: usize,
-        /// Destination actor.
-        to: Addr,
-        /// Payload size in bytes (for fabric timing).
-        bytes: u64,
-        /// The message.
-        msg: Msg<P>,
-    },
-    /// Deliver to `to` at exactly time `at` (self events, device-completion
-    /// callbacks). No fabric involvement.
-    At {
-        /// Delivery time.
-        at: Time,
-        /// Destination actor.
-        to: Addr,
-        /// The message.
-        msg: Msg<P>,
-    },
-}
+/// An actor of the Chaos protocol: addressed by [`Addr`], exchanging
+/// [`Msg`]s. Blanket-satisfied by everything implementing the generic
+/// [`chaos_runtime::Actor`] with matching address/message types.
+pub trait ChaosActor<P: GasProgram>: chaos_runtime::Actor<Addr = Addr, Msg = Msg<P>> {}
 
-/// Handler context: the current time and a buffer of outgoing sends.
-pub struct Ctx<P: GasProgram> {
-    /// Current virtual time.
-    pub now: Time,
-    /// Current protocol generation (bumped on failure recovery).
-    pub gen: u32,
-    pub(crate) out: Vec<Send<P>>,
-}
-
-impl<P: GasProgram> Ctx<P> {
-    /// Creates a context at `now`.
-    pub fn new(now: Time, gen: u32) -> Self {
-        Self {
-            now,
-            gen,
-            out: Vec::new(),
-        }
-    }
-
-    /// Sends `msg` of `bytes` from `from`'s NIC to `to`.
-    pub fn send(&mut self, from: usize, to: Addr, msg: Msg<P>, bytes: u64) {
-        self.out.push(Send::Net {
-            from,
-            to,
-            bytes,
-            msg,
-        });
-    }
-
-    /// Schedules `msg` for delivery to `to` at absolute time `at`.
-    pub fn at(&mut self, at: Time, to: Addr, msg: Msg<P>) {
-        self.out.push(Send::At { at, to, msg });
-    }
-
-    /// Drains the buffered sends.
-    pub(crate) fn take(&mut self) -> Vec<Send<P>> {
-        std::mem::take(&mut self.out)
-    }
-}
+impl<P: GasProgram, A: chaos_runtime::Actor<Addr = Addr, Msg = Msg<P>>> ChaosActor<P> for A {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn addr_index_roundtrip() {
-        let m = 5;
+    fn addr_slot_roundtrip() {
+        let topo = ClusterTopology { machines: 5 };
         for a in [
             Addr::Compute(0),
             Addr::Compute(4),
@@ -224,7 +200,8 @@ mod tests {
             Addr::Coordinator,
             Addr::Directory,
         ] {
-            assert_eq!(Addr::from_index(a.index(m), m), a);
+            assert_eq!(topo.addr_of(topo.slot(a)), a);
+            assert!(topo.slot(a) < topo.slots());
         }
     }
 

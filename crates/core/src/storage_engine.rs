@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use chaos_gas::{GasProgram, Update};
 use chaos_graph::Edge;
+use chaos_runtime::Actor;
 use chaos_sim::Time;
 use chaos_storage::{ChunkSet, Device, PageCache, VertexArray};
 
@@ -160,8 +161,18 @@ impl<P: GasProgram> StorageEngine<P> {
         );
     }
 
+}
+
+impl<P: GasProgram> Actor for StorageEngine<P> {
+    type Addr = Addr;
+    type Msg = Msg<P>;
+
+    fn generation(&self) -> u32 {
+        self.gen
+    }
+
     /// Handles one message.
-    pub fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
+    fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
         let now = ctx.now;
         let me = self.machine;
         match msg {

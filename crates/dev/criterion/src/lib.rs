@@ -1,0 +1,121 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This crate vendors the small API subset
+//! the workspace benches use — `Criterion::bench_function`, `Bencher::iter`
+//! / `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by plain wall-clock timing. Numbers
+//! are indicative, not statistically rigorous; swap in the real crate when
+//! a registry is available (the manifest surface is identical).
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between timings (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock duration of one routine call, filled by `iter*`.
+    pub mean: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            mean: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine`, discarding one warm-up call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / self.samples as u32;
+    }
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed calls each benchmark makes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!("{name:<50} {:>12.3?}/iter", b.mean);
+        self
+    }
+}
+
+/// Declares a benchmark group: a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,352 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! This build environment has no network access, so the real crates.io
+//! `proptest` cannot be fetched. This crate vendors the API subset the
+//! workspace tests use: the `proptest!` macro (with an optional
+//! `#![proptest_config(..)]` header), `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, `any::<T>()`, range and tuple strategies, and
+//! `proptest::collection::vec`. Cases are generated from a seed derived
+//! deterministically from the test name and the case index, so every run
+//! explores the same inputs and failures reproduce. There is no shrinking:
+//! a failing case reports its inputs via `Debug` and the case index.
+
+/// Runner configuration (`cases` is the only knob the subset honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation and failure plumbing.
+
+    /// Why a property case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the message explains how.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with `msg`.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// SplitMix64 generator; cheap, stateless seeding, good enough for
+    /// test-input generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG for case `case` of the property named by `name_hash`.
+        pub fn deterministic(name_hash: u64, case: u64) -> Self {
+            Self {
+                state: name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` of 0 yields 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            // Multiply-shift reduction; bias is irrelevant for test inputs.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// FNV-1a over the property name, used to seed its RNG stream.
+    pub fn name_hash(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for ranges and tuples.
+
+    use crate::test_runner::TestRng;
+
+    /// Something that can generate values of `Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as u64).saturating_sub(self.start as u64);
+                    assert!(span > 0, "cannot generate from an empty range");
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as u64) - (*self.start() as u64);
+                    *self.start() + rng.below(span.saturating_add(1).max(1)) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = rng.next_u64() as f64 / u64::MAX as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the full-range strategy for primitive types.
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range generation strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// The canonical strategy for `T`: any representable value.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector of `size`-range length whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len: size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn` runs `cases` times over generated
+/// inputs. Accepts an optional `#![proptest_config(..)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::name_hash(stringify!($name));
+                let mut case: u64 = 0;
+                let mut passed: u32 = 0;
+                // Cap the total attempts so a rejection-heavy property
+                // (aggressive prop_assume!) still terminates.
+                let max_attempts = config.cases as u64 * 16;
+                while passed < config.cases && case < max_attempts {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(seed, case);
+                    case += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    // Captured before the body runs: the body may move the
+                    // inputs, and a failing case must still report them.
+                    let inputs = format!("{:?}", ($(&$arg,)*));
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match result {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {} of {} failed: {}\n  inputs: {}",
+                                case - 1,
+                                stringify!($name),
+                                msg,
+                                inputs
+                            );
+                        }
+                    }
+                }
+                // Mirror real proptest: a property that cannot find enough
+                // acceptable inputs must fail loudly, not silently pass.
+                assert!(
+                    passed == config.cases,
+                    "proptest {}: too many global rejects ({passed} of {} cases ran in {case} attempts)",
+                    stringify!($name),
+                    config.cases,
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Like `assert!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -127,7 +127,7 @@ mod tests {
         let g = connected_weighted(20, 10, 2);
         // Undirected reachability from 0 covers everything.
         let adj = g.adjacency();
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         let mut stack = vec![0u64];
         seen[0] = true;
         while let Some(v) = stack.pop() {

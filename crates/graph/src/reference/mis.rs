@@ -137,6 +137,6 @@ mod tests {
         m[1] = true;
         assert!(!is_maximal_independent_set(&g, &m));
         // Empty set: not maximal.
-        assert!(!is_maximal_independent_set(&g, &vec![false; 6]));
+        assert!(!is_maximal_independent_set(&g, &[false; 6]));
     }
 }

@@ -43,7 +43,7 @@ impl WebGraphConfig {
             mean_out_degree: 16.0,
             max_out_degree: (pages / 4).max(8),
             intra_host_fraction: 0.8,
-            seed: 0xDA7A_C0,
+            seed: 0x00DA_7AC0,
         }
     }
 

@@ -169,6 +169,14 @@ impl Fabric {
     }
 }
 
+/// The fabric is the actor runtime's network model: the scheduler asks it
+/// for arrival times when absorbing `Send::Net` messages.
+impl chaos_runtime::Network for Fabric {
+    fn send(&mut self, now: Time, from: usize, to: usize, bytes: u64) -> Time {
+        Fabric::send(self, now, from, to, bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,7 +187,7 @@ mod tests {
             machines,
             nic_bytes_per_sec: 1000 * MIB,
             propagation: 10 * MICROS,
-            local_delivery: 1 * MICROS,
+            local_delivery: MICROS,
             switch_cap_bytes_per_sec: None,
         })
     }

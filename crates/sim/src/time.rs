@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn serve_is_fifo() {
-        let mut r = Resource::new(100 * MIB, 1 * MILLIS);
+        let mut r = Resource::new(100 * MIB, MILLIS);
         let t1 = r.serve(0, 100 * MIB); // 1ms + 1s
         assert_eq!(t1, SECS + MILLIS);
         // Second request issued at t=0 queues behind the first.

@@ -255,6 +255,84 @@ mod tests {
         assert!(cs.serve_next().unwrap().is_none());
     }
 
+    /// §6.3: a storage engine may serve any unprocessed chunk, but each
+    /// chunk exactly once per epoch — across *multiple* epochs.
+    #[test]
+    fn every_chunk_served_exactly_once_per_epoch_over_multiple_epochs() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        let ids: Vec<u64> = (0..5).collect();
+        for &i in &ids {
+            cs.append(chunk(i * 100, i * 100 + 10)).unwrap();
+        }
+        for _epoch in 0..3 {
+            let mut served = Vec::new();
+            while let Some(c) = cs.serve_next().unwrap() {
+                served.push(c[0] / 100); // chunk identity from its first record
+            }
+            served.sort_unstable();
+            assert_eq!(served, ids, "each chunk exactly once per epoch");
+            // Exhausted stays exhausted until the epoch resets.
+            assert!(cs.serve_next().unwrap().is_none());
+            assert!(cs.exhausted());
+            cs.reset_epoch();
+        }
+    }
+
+    /// §5.4 feeds `bytes_remaining` into the steal criterion: it must
+    /// shrink by exactly the served chunk's storage size, monotonically,
+    /// down to zero.
+    #[test]
+    fn bytes_remaining_decreases_monotonically_while_serving() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        for n in [7u64, 1, 12, 3] {
+            cs.append(chunk(0, n)).unwrap();
+        }
+        let mut last = cs.bytes_remaining();
+        assert_eq!(last, (7 + 1 + 12 + 3) * 8);
+        while let Some(c) = cs.serve_next().unwrap() {
+            let now = cs.bytes_remaining();
+            assert!(now < last, "strictly decreasing while serving");
+            assert_eq!(last - now, c.len() as u64 * 8, "drop equals served bytes");
+            last = now;
+        }
+        assert_eq!(last, 0);
+    }
+
+    #[test]
+    fn reset_epoch_rewinds_after_partial_consumption() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        for i in 0..4 {
+            cs.append(chunk(i * 10, i * 10 + 10)).unwrap();
+        }
+        cs.serve_next().unwrap();
+        cs.serve_next().unwrap();
+        assert_eq!(cs.bytes_remaining(), 2 * 10 * 8);
+        cs.reset_epoch();
+        assert_eq!(cs.bytes_remaining(), 4 * 10 * 8, "rewind restores all bytes");
+        let mut count = 0;
+        while cs.serve_next().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4, "full epoch after a mid-epoch reset");
+    }
+
+    /// Scatter appends update chunks while gather of another machine may
+    /// already be streaming the set: chunks appended mid-epoch are served
+    /// in the same epoch.
+    #[test]
+    fn chunks_appended_mid_epoch_are_served_in_the_same_epoch() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        cs.append(chunk(0, 5)).unwrap();
+        assert!(cs.serve_next().unwrap().is_some());
+        assert!(cs.exhausted());
+        cs.append(chunk(5, 9)).unwrap();
+        assert!(!cs.exhausted(), "new chunk reopens the epoch");
+        assert_eq!(cs.bytes_remaining(), 4 * 8);
+        let c = cs.serve_next().unwrap().unwrap();
+        assert_eq!(c.as_slice(), &[5, 6, 7, 8]);
+        assert!(cs.serve_next().unwrap().is_none());
+    }
+
     #[test]
     fn record_width_drives_byte_accounting() {
         // In-memory u64 records accounted at a 4-byte storage width

@@ -141,6 +141,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if args.flag("--one-gige") {
         cfg = cfg.with_one_gige();
     }
+    cfg.validate()?;
     let mut params = AlgoParams::default();
     params.pr_iterations = args.parsed("--iters", 5u32)?;
     params.bp_iterations = params.pr_iterations;

@@ -16,6 +16,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`sim`] | deterministic discrete-event kernel (clock, queue, RNG, rate servers) |
+//! | [`runtime`] | generic actor runtime (Actor trait, scheduler, topology, network routing) |
 //! | [`net`] | NIC/switch fabric model |
 //! | [`storage`] | chunk sets (memory + real files), device models, page cache |
 //! | [`graph`] | edge lists, RMAT + web-graph generators, partitioner, oracles |
@@ -43,6 +44,7 @@ pub use chaos_core as core;
 pub use chaos_gas as gas;
 pub use chaos_graph as graph;
 pub use chaos_net as net;
+pub use chaos_runtime as runtime;
 pub use chaos_sim as sim;
 pub use chaos_storage as storage;
 

@@ -1,4 +1,8 @@
 //! Shared helpers for the cross-crate integration tests.
+//!
+//! Each integration-test binary compiles this module separately and uses
+//! only a subset of the helpers, so per-binary dead-code analysis is noise.
+#![allow(dead_code)]
 
 use chaos::prelude::*;
 

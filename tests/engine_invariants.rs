@@ -5,7 +5,7 @@ mod common;
 
 use chaos::graph::reference;
 use chaos::prelude::*;
-use common::{close, directed_graph, test_config, weighted_graph};
+use common::{close, directed_graph, test_config};
 
 #[test]
 fn runs_are_deterministic_in_results_and_time() {
