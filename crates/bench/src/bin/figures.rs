@@ -1,23 +1,49 @@
 //! CLI driving the table/figure harnesses.
 //!
 //! ```text
-//! figures list            # show experiment ids
-//! figures fig7            # one experiment at the quick scale
-//! figures all             # everything, quick scale
-//! figures all --full      # everything, larger scale
+//! figures list                      # show experiment ids
+//! figures fig7                      # one experiment at the quick scale
+//! figures fig7 --backend par:4      # same rows, parallel event loop
+//! figures all                       # everything, quick scale
+//! figures all --full                # everything, larger scale
 //! ```
+//!
+//! `--backend {seq|par|par:N}` selects the execution backend for every
+//! run. Figure output is bit-identical across backends — the simulation
+//! is backend-invariant — so the flag only changes host wall-clock
+//! behavior (see `scripts/bench_smoke.sh`, which relies on the identity).
+
+use std::process::ExitCode;
 
 use chaos_bench::{run_experiment, Harness, Scale, EXPERIMENTS};
+use chaos_core::Backend;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backend = Backend::Sequential;
+    // Loop so a repeated flag is fully consumed (last one wins) instead of
+    // its value leaking through as an experiment id.
+    while let Some(i) = args.iter().position(|a| a == "--backend") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("--backend needs a value: seq, par or par:N");
+            return ExitCode::FAILURE;
+        };
+        backend = match spec.parse() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.drain(i..=i + 1);
+    }
     let full = args.iter().any(|a| a == "--full");
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let scale = if full { Scale::full() } else { Scale::quick() };
+    let scale = if full { Scale::full() } else { Scale::quick() }.with_backend(backend);
 
     match ids.first().copied() {
         None | Some("list") => {
@@ -41,4 +67,5 @@ fn main() {
             }
         }
     }
+    ExitCode::SUCCESS
 }

@@ -6,7 +6,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
-use chaos_core::{run_chaos, ChaosConfig, RunReport};
+use chaos_core::{run_chaos, Backend, ChaosConfig, RunReport};
 use chaos_graph::{InputGraph, RmatConfig, WebGraphConfig};
 
 /// Experiment sizing.
@@ -23,6 +23,10 @@ pub struct Scale {
     /// Run the expensive algorithms (MCST, SCC, SSSP, MIS) in the
     /// all-algorithm figures.
     pub all_algorithms: bool,
+    /// Execution backend for every run this harness drives. Figure output
+    /// is bit-identical across backends (the simulation is backend-
+    /// invariant); this only changes host wall-clock behavior.
+    pub backend: Backend,
 }
 
 impl Scale {
@@ -34,6 +38,7 @@ impl Scale {
             mem_budget: 256 * 1024,
             machines: &[1, 2, 4, 8, 16, 32],
             all_algorithms: true,
+            backend: Backend::Sequential,
         }
     }
 
@@ -45,7 +50,14 @@ impl Scale {
             mem_budget: 1 << 20,
             machines: &[1, 2, 4, 8, 16, 32],
             all_algorithms: true,
+            backend: Backend::Sequential,
         }
+    }
+
+    /// The same sizing with a different execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -126,6 +138,7 @@ impl Harness {
         let mut cfg = ChaosConfig::new(machines);
         cfg.chunk_bytes = self.scale.chunk_bytes;
         cfg.mem_budget = self.scale.mem_budget;
+        cfg.backend = self.scale.backend;
         cfg
     }
 

@@ -3,41 +3,44 @@
 //! A [`Cluster`] owns one computation engine and one storage engine per
 //! machine (Figure 6), the barrier coordinator, the optional centralized
 //! directory and the fabric model. The event loop itself lives in
-//! `chaos-runtime`: the cluster builds a [`ClusterScheduler`] over the
-//! [`ClusterTopology`] and hands it the four actor kinds as one table
-//! ordered by scheduler slot — all dispatch, generation filtering and
+//! `chaos-runtime` behind the `Executor` trait: the cluster builds the
+//! [`ClusterExecutor`] backend its [`Backend`] configuration selects over
+//! the [`ClusterTopology`] and hands it the four actor kinds as one table
+//! ordered by executor slot — all dispatch, generation filtering and
 //! fabric routing happen behind the generic [`Actor`] trait. `run()`
 //! executes the whole computation — pre-processing from the unsorted edge
 //! list through convergence — on the virtual clock and returns a
 //! [`RunReport`].
 //!
-//! The run is deterministic: same (config, program, graph) ⇒ same final
-//! vertex states *and* same simulated completion time.
+//! The run is deterministic *across backends*: same (config, program,
+//! graph) ⇒ same final vertex states *and* same simulated completion
+//! time, whether the event loop runs sequentially or on a worker pool.
 
 use std::sync::Arc;
 
 use chaos_gas::GasProgram;
 use chaos_graph::{InputGraph, PartitionSpec, SizeModel};
 use chaos_net::Fabric;
-use chaos_runtime::{Actor, Scheduler};
-use chaos_sim::Rng;
+use chaos_runtime::{DynActor, Executor};
+use chaos_sim::{Rng, Time};
 use chaos_storage::Device;
 
 use crate::compute_engine::ComputeEngine;
-use crate::config::{ChaosConfig, Placement};
+use crate::config::{Backend, ChaosConfig, Placement};
 use crate::coordinator::Coordinator;
 use crate::directory::Directory;
 use crate::metrics::RunReport;
 use crate::msg::{DataKind, Msg};
-use crate::runtime::{Addr, ClusterScheduler, ClusterTopology, Ctx, RunParams};
+use crate::runtime::{Addr, ClusterExecutor, ClusterTopology, Ctx, RunParams};
 use crate::storage_engine::StorageEngine;
 
 /// A fully wired simulated Chaos cluster, ready to run one computation.
 pub struct Cluster<P: GasProgram> {
     cfg: Arc<ChaosConfig>,
     params: Arc<RunParams>,
-    sched: ClusterScheduler<P>,
+    sched: ClusterExecutor<P>,
     fabric: Fabric,
+    windows: u64,
     computes: Vec<ComputeEngine<P>>,
     storages: Vec<StorageEngine<P>>,
     coordinator: Coordinator<P>,
@@ -118,14 +121,18 @@ impl<P: GasProgram> Cluster<P> {
         let topology = ClusterTopology {
             machines: cfg.machines,
         };
+        let mut sched = match cfg.backend {
+            Backend::Sequential => ClusterExecutor::sequential(topology),
+            Backend::Parallel { threads } => ClusterExecutor::parallel(topology, threads),
+        };
         // Safety valve for the event loop (a wedged protocol would
         // otherwise spin forever); generously above any legitimate run.
-        let mut sched = Scheduler::new(topology);
-        sched.max_events = 20_000_000_000;
+        sched.set_max_events(20_000_000_000);
         Ok(Self {
             params,
             sched,
             fabric,
+            windows: 0,
             computes,
             storages,
             coordinator,
@@ -163,19 +170,20 @@ impl<P: GasProgram> Cluster<P> {
         }
         // The actor table, ordered by `ClusterTopology` slot: computes,
         // storages, then the two singletons.
-        let mut actors: Vec<&mut dyn Actor<Addr = Addr, Msg = Msg<P>>> = self
+        let mut actors: Vec<DynActor<'_, Addr, Msg<P>>> = self
             .computes
             .iter_mut()
-            .map(|c| c as &mut dyn Actor<Addr = Addr, Msg = Msg<P>>)
+            .map(|c| c as DynActor<'_, Addr, Msg<P>>)
             .chain(
                 self.storages
                     .iter_mut()
-                    .map(|s| s as &mut dyn Actor<Addr = Addr, Msg = Msg<P>>),
+                    .map(|s| s as DynActor<'_, Addr, Msg<P>>),
             )
             .collect();
         actors.push(&mut self.coordinator);
         actors.push(&mut self.directory);
-        self.sched.run(&mut actors, &mut self.fabric);
+        let stats = self.sched.run(&mut actors, &mut self.fabric, Time::MAX);
+        self.windows = stats.windows;
         assert!(
             self.coordinator.done && self.computes.iter().all(|c| c.is_done()),
             "event queue drained before completion: protocol deadlock"
@@ -200,6 +208,8 @@ impl<P: GasProgram> Cluster<P> {
             steals: self.computes.iter().map(|c| c.steals).sum(),
             partitions: self.params.spec.num_partitions,
             events: self.sched.delivered(),
+            backend: self.cfg.backend,
+            windows: self.windows,
         }
     }
 

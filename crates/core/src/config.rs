@@ -18,6 +18,67 @@ pub enum Placement {
     Centralized,
 }
 
+/// Which execution backend drives the simulated cluster's event loop.
+///
+/// Both backends produce bit-identical runs — same final vertex states,
+/// same simulated completion time, same event count and device/fabric
+/// statistics; the choice only affects host wall-clock behavior. See
+/// `chaos_runtime::parallel` for the determinism argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One global event queue on the calling thread.
+    #[default]
+    Sequential,
+    /// Per-machine event lanes dispatched across a worker pool under
+    /// conservative time-window synchronization (lookahead = the fabric's
+    /// minimum end-to-end latency).
+    Parallel {
+        /// Worker threads (clamped to the machine count at run time).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// A parallel backend sized to the host's available parallelism.
+    pub fn parallel_auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        Backend::Parallel { threads }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    /// Parses the CLI spelling: `seq`, `par` (host parallelism), or
+    /// `par:N`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "seq" | "sequential" => Ok(Backend::Sequential),
+            "par" | "parallel" => Ok(Backend::parallel_auto()),
+            _ => match s.strip_prefix("par:") {
+                Some(n) => match n.parse::<usize>() {
+                    Ok(threads) if threads > 0 => Ok(Backend::Parallel { threads }),
+                    _ => Err(format!("bad thread count in backend spec {s:?}")),
+                },
+                None => Err(format!(
+                    "unknown backend {s:?}; expected seq, par or par:N"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Sequential => write!(f, "seq"),
+            Backend::Parallel { threads } => write!(f, "par:{threads}"),
+        }
+    }
+}
+
 /// Where a transient machine failure is injected (for the fault-tolerance
 /// experiments).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +133,9 @@ pub struct ChaosConfig {
     /// §7 of the paper). `None` keeps payloads in memory; simulated I/O
     /// timing is identical either way.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Execution backend driving the event loop. Results are bit-identical
+    /// across backends; only host wall-clock behavior differs.
+    pub backend: Backend,
     /// RNG seed; a run is a pure function of (config, program, graph).
     pub seed: u64,
 }
@@ -102,8 +166,15 @@ impl ChaosConfig {
             directory_op_ns: 10_000,
             failure: None,
             spill_dir: None,
+            backend: Backend::Sequential,
             seed: 0xC4A05,
         }
+    }
+
+    /// Switches the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Switches to the HDD profile (Figure 11 / §9.3).
@@ -159,6 +230,9 @@ impl ChaosConfig {
                 return Err("failed machine out of range".into());
             }
         }
+        if self.backend == (Backend::Parallel { threads: 0 }) {
+            return Err("parallel backend needs at least one thread".into());
+        }
         Ok(())
     }
 }
@@ -195,6 +269,27 @@ mod tests {
         // SSD latency 50us, 40GigE RTT 50us => phi = 2 (§10.1).
         let c = ChaosConfig::new(8);
         assert!((c.phi() - 2.0).abs() < 0.01, "phi = {}", c.phi());
+    }
+
+    #[test]
+    fn backend_spec_parses() {
+        assert_eq!("seq".parse::<Backend>(), Ok(Backend::Sequential));
+        assert_eq!(
+            "par:4".parse::<Backend>(),
+            Ok(Backend::Parallel { threads: 4 })
+        );
+        assert!(matches!(
+            "par".parse::<Backend>(),
+            Ok(Backend::Parallel { threads }) if threads > 0
+        ));
+        assert!("par:0".parse::<Backend>().is_err());
+        assert!("threads".parse::<Backend>().is_err());
+        assert_eq!(Backend::Parallel { threads: 4 }.to_string(), "par:4");
+        assert_eq!(Backend::Sequential.to_string(), "seq");
+        let mut c = ChaosConfig::new(2).with_backend(Backend::Parallel { threads: 2 });
+        assert!(c.validate().is_ok());
+        c.backend = Backend::Parallel { threads: 0 };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -20,10 +20,12 @@
 //! every scatter/gather function really computed, while devices, NICs and
 //! CPUs are queueing models. The four actor kinds — [`ComputeEngine`],
 //! [`StorageEngine`], [`Coordinator`] and [`Directory`] — implement the
-//! generic `chaos_runtime::Actor` trait and are driven by the extracted
-//! `chaos-runtime` scheduler; [`Cluster`] is thin wiring over it. See
-//! `DESIGN.md` at the repository root for the fidelity argument and the
-//! experiment index.
+//! generic `chaos_runtime::Actor` trait and are driven by whichever
+//! `chaos_runtime::Executor` backend the configuration selects
+//! ([`config::Backend`]: the classic sequential loop, or deterministic
+//! windowed parallel dispatch — runs are bit-identical either way);
+//! [`Cluster`] is thin wiring over it. See `DESIGN.md` at the repository
+//! root for the fidelity argument and the experiment index.
 //!
 //! [`ComputeEngine`]: compute_engine::ComputeEngine
 //! [`StorageEngine`]: storage_engine::StorageEngine
@@ -56,8 +58,11 @@ pub mod runtime;
 pub mod storage_engine;
 
 pub use capacity::{CapacityModel, CapacityPrediction};
-pub use chaos_runtime::{Actor, Network, Scheduler, Topology};
+pub use chaos_runtime::{
+    Actor, BackendExecutor, ExecStats, Executor, Network, ParallelExecutor, Scheduler,
+    SequentialExecutor, Topology,
+};
 pub use cluster::{run_chaos, Cluster};
-pub use config::{ChaosConfig, FailureSpec, Placement};
+pub use config::{Backend, ChaosConfig, FailureSpec, Placement};
 pub use metrics::{Breakdown, RunReport};
-pub use runtime::{Addr, ChaosActor, ClusterScheduler, ClusterTopology, RunParams};
+pub use runtime::{Addr, ChaosActor, ClusterExecutor, ClusterScheduler, ClusterTopology, RunParams};

@@ -7,7 +7,7 @@ use chaos_sim::Time;
 use chaos_storage::device::DeviceStats;
 
 /// Per-machine wall-time breakdown in the categories of Figure 17.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Breakdown {
     /// Graph processing on partitions this machine masters.
     pub gp_master: Time,
@@ -56,7 +56,13 @@ impl Breakdown {
 }
 
 /// Everything measured over one run of the engine.
-#[derive(Debug, Clone)]
+///
+/// Reports compare equal (`PartialEq`) field by field; the backend-
+/// equivalence tests rely on this to pin that the sequential and parallel
+/// executors produce bit-identical runs (after normalizing the two
+/// provenance fields, [`RunReport::backend`] and [`RunReport::windows`],
+/// which record *how* the run was executed rather than what it computed).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Total simulated wall-clock time, pre-processing included (§8:
     /// "all results report the wall-clock time to go from the unsorted
@@ -82,6 +88,12 @@ pub struct RunReport {
     pub partitions: usize,
     /// Total events processed by the simulation kernel.
     pub events: u64,
+    /// Execution backend that drove the run (provenance; does not affect
+    /// any simulated quantity).
+    pub backend: crate::config::Backend,
+    /// Synchronization windows the parallel backend executed (0 for
+    /// sequential runs).
+    pub windows: u64,
 }
 
 impl RunReport {
@@ -118,6 +130,15 @@ impl RunReport {
     /// Runtime in (fractional) seconds.
     pub fn seconds(&self) -> f64 {
         self.runtime as f64 / 1e9
+    }
+
+    /// The report with the backend-provenance fields cleared, for
+    /// comparing runs across execution backends: everything else must be
+    /// bit-identical.
+    pub fn normalized(mut self) -> Self {
+        self.backend = crate::config::Backend::Sequential;
+        self.windows = 0;
+        self
     }
 
     /// Mean Figure 17 breakdown across machines, normalized by `runtime`.

@@ -75,7 +75,9 @@ pub trait GasProgram: Clone + Send + 'static {
     /// Update payload carried from scatter to gather.
     type Update: Record;
     /// In-memory accumulator; `Default` must be the gather identity.
-    type Accum: Clone + Default + Send + 'static;
+    /// `Sync` because accumulator arrays are shared (`Arc`) across engine
+    /// actors, which the parallel backend dispatches on worker threads.
+    type Accum: Clone + Default + Send + Sync + 'static;
 
     /// Short human-readable name ("BFS", "PR", ...).
     fn name(&self) -> &'static str;

@@ -10,8 +10,10 @@ use chaos_graph::VertexId;
 /// A fixed-size serializable record.
 ///
 /// Implementations must write exactly [`Record::ENCODED_BYTES`] bytes and
-/// round-trip: `decode(encode(x)) == x`.
-pub trait Record: Clone + Send + 'static {
+/// round-trip: `decode(encode(x)) == x`. Records are `Send + Sync` because
+/// chunk payloads are shared (`Arc`) across engine actors, which the
+/// parallel execution backend dispatches on worker threads.
+pub trait Record: Clone + Send + Sync + 'static {
     /// Exact encoded width in bytes.
     const ENCODED_BYTES: usize;
 

@@ -61,10 +61,19 @@ impl FabricConfig {
     pub fn rtt(&self) -> Time {
         2 * self.propagation
     }
+
+    /// Minimum end-to-end latency of any cross-machine message: the switch
+    /// propagation delay (serialization only adds to it). This is the safe
+    /// lookahead bound for conservatively-synchronized parallel execution —
+    /// no message sent at `t` to another machine can arrive before
+    /// `t + min_latency()`.
+    pub fn min_latency(&self) -> Time {
+        self.propagation
+    }
 }
 
 /// Per-fabric transfer statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FabricStats {
     /// Total messages that crossed the switch.
     pub remote_messages: u64,
@@ -122,6 +131,13 @@ impl Fabric {
         self.stats
     }
 
+    /// Minimum end-to-end latency of any cross-machine message (see
+    /// [`FabricConfig::min_latency`]); the safe lookahead bound the
+    /// parallel executor synchronizes on.
+    pub fn min_end_to_end_latency(&self) -> Time {
+        self.cfg.min_latency()
+    }
+
     /// Computes the delivery time of a `bytes`-sized message sent at `now`
     /// from machine `from` to machine `to`, updating NIC queues.
     ///
@@ -169,11 +185,23 @@ impl Fabric {
     }
 }
 
-/// The fabric is the actor runtime's network model: the scheduler asks it
-/// for arrival times when absorbing `Send::Net` messages.
+/// The fabric is the actor runtime's network model: the executor asks it
+/// for arrival times when absorbing `Send::Net` messages, and the parallel
+/// backend sizes its synchronization windows from the latency bounds.
 impl chaos_runtime::Network for Fabric {
     fn send(&mut self, now: Time, from: usize, to: usize, bytes: u64) -> Time {
         Fabric::send(self, now, from, to, bytes)
+    }
+
+    fn min_latency(&self) -> Time {
+        self.min_end_to_end_latency()
+    }
+
+    fn local_latency(&self, _machine: usize) -> Time {
+        // Same-machine deliveries bypass the NICs and pay a constant
+        // in-process hop, independent of size and fabric state — exactly
+        // the contract `Network::local_latency` requires.
+        self.cfg.local_delivery
     }
 }
 
@@ -244,6 +272,25 @@ mod tests {
         let b = f.send(0, 2, 3, 100 * MIB);
         // Disjoint NIC pairs, but the capped switch serializes the flows.
         assert!(b > a);
+    }
+
+    #[test]
+    fn min_latency_bounds_every_cross_machine_send() {
+        use chaos_runtime::Network as _;
+        let mut f = fabric(4);
+        let lookahead = f.min_end_to_end_latency();
+        assert!(lookahead > 0);
+        assert_eq!(lookahead, f.config().min_latency());
+        // Stress the NIC queues; arrivals must never undercut the bound.
+        for i in 0..50u64 {
+            let now = i * 3;
+            let t = f.send(now, (i % 4) as usize, ((i + 1) % 4) as usize, 1 + i * MIB / 8);
+            assert!(t >= now + lookahead, "arrival {t} < {now} + {lookahead}");
+        }
+        // Local deliveries are the constant the parallel backend predicts.
+        for m in 0..4 {
+            assert_eq!(f.send(1000, m, m, 123), 1000 + f.local_latency(m));
+        }
     }
 
     #[test]

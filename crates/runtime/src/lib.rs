@@ -2,32 +2,36 @@
 //!
 //! This crate is the layer between the raw discrete-event kernel
 //! (`chaos-sim`) and any concrete simulated system (`chaos-core`'s engine
-//! actors, future multi-threaded backends, sharded coordinators, ...). It
-//! owns the pieces every actor system needs and none of the protocol:
+//! actors, future sharded coordinators, ...). It owns the pieces every
+//! actor system needs and none of the protocol:
 //!
 //! - the [`Actor`] trait — `handle(&mut self, ctx, msg)` plus a protocol
 //!   [`Actor::generation`] used to drop stale messages after a recovery
 //!   bump;
 //! - the [`Ctx`] send context — handlers buffer outgoing [`Send`]s, the
-//!   scheduler applies them after the handler returns, preserving
+//!   executor applies them after the handler returns, preserving
 //!   in-handler ordering;
-//! - the [`Topology`] trait — maps application addresses to dense scheduler
+//! - the [`Topology`] trait — maps application addresses to dense executor
 //!   slots and to host machines for network timing;
 //! - the [`Network`] trait — computes message arrival times (implemented by
 //!   `chaos-net`'s `Fabric`; `()` gives a zero-latency network for tests);
-//! - the [`Scheduler`] — the event loop: pop, filter by generation,
-//!   dispatch, absorb the handler's sends back into the queue.
+//! - the [`Executor`] trait and its backends — the event loop as a
+//!   swappable component: [`SequentialExecutor`] (one global queue, the
+//!   classic DES loop) and [`ParallelExecutor`] (per-machine event lanes
+//!   dispatched across a thread pool under conservative time-window
+//!   synchronization). Both produce bit-identical runs; see the
+//!   [`parallel`] module docs for the determinism argument.
 //!
-//! Determinism: the scheduler inherits the kernel's `(time, insertion
-//! order)` tie-breaking, so a run is a pure function of its inputs as long
-//! as actors themselves are deterministic.
+//! Determinism: executors inherit the kernel's `(time, insertion order)`
+//! tie-breaking, so a run is a pure function of its inputs as long as
+//! actors themselves are deterministic.
 //!
 //! # Examples
 //!
 //! A two-actor ping-pong over a zero-latency network:
 //!
 //! ```
-//! use chaos_runtime::{Actor, Ctx, Scheduler, SlotTopology};
+//! use chaos_runtime::{Actor, Ctx, Executor, SequentialExecutor, SlotTopology};
 //!
 //! struct Player { slot: usize, hits: u32 }
 //!
@@ -44,13 +48,23 @@
 //!
 //! let mut a = Player { slot: 0, hits: 0 };
 //! let mut b = Player { slot: 1, hits: 0 };
-//! let mut sched = Scheduler::new(SlotTopology::single_machine(2));
+//! let mut sched = SequentialExecutor::new(SlotTopology::single_machine(2));
 //! sched.post(0, 0, 0, 10u32);
-//! sched.run(&mut [&mut a, &mut b], &mut ());
+//! sched.run(&mut [&mut a, &mut b], &mut (), u64::MAX);
 //! assert_eq!(a.hits + b.hits, 11);
 //! ```
 
-use chaos_sim::{EventQueue, Time};
+use chaos_sim::Time;
+
+pub mod executor;
+pub mod parallel;
+
+pub use executor::{DynActor, ExecStats, Executor, SequentialExecutor};
+pub use parallel::{BackendExecutor, ParallelExecutor};
+
+/// The scheduler type of earlier revisions; the event loop is now the
+/// [`Executor`] trait and this alias names its sequential backend.
+pub type Scheduler<T, M> = SequentialExecutor<T, M>;
 
 /// An actor: a deterministic state machine driven by messages.
 pub trait Actor {
@@ -69,7 +83,7 @@ pub trait Actor {
     fn handle(&mut self, ctx: &mut Ctx<Self::Addr, Self::Msg>, msg: Self::Msg);
 }
 
-/// Maps application addresses to dense scheduler slots and host machines.
+/// Maps application addresses to dense executor slots and host machines.
 pub trait Topology {
     /// The address type this topology understands.
     type Addr: Copy;
@@ -77,12 +91,22 @@ pub trait Topology {
     /// Total number of actor slots.
     fn slots(&self) -> usize;
 
-    /// Dense slot of an address; the scheduler indexes its actor table
+    /// Dense slot of an address; the executor indexes its actor table
     /// with this.
     fn slot(&self, addr: Self::Addr) -> usize;
 
     /// Machine hosting the address, for network timing.
     fn machine(&self, addr: Self::Addr) -> usize;
+
+    /// Number of machines (event lanes for the parallel backend). Must be
+    /// an upper bound for every value [`Topology::machine`] returns.
+    fn machines(&self) -> usize;
+
+    /// Machine hosting a slot; the inverse composition
+    /// `machine_of_slot(slot(a)) == machine(a)` must hold for every
+    /// address, so the parallel backend can partition the actor table
+    /// into per-machine lanes.
+    fn machine_of_slot(&self, slot: usize) -> usize;
 }
 
 /// The trivial topology: addresses *are* slots.
@@ -102,9 +126,15 @@ impl SlotTopology {
     }
 
     /// `slots` actors spread round-robin over `machines` machines.
+    ///
+    /// Degenerate inputs saturate rather than divide by zero: zero
+    /// machines behaves as one machine, and zero slots is an empty (but
+    /// valid) topology.
     pub fn round_robin(slots: usize, machines: usize) -> Self {
-        assert!(machines > 0, "at least one machine");
-        Self { slots, machines }
+        Self {
+            slots,
+            machines: machines.max(1),
+        }
     }
 }
 
@@ -122,17 +152,45 @@ impl Topology for SlotTopology {
     fn machine(&self, addr: usize) -> usize {
         addr % self.machines
     }
+
+    fn machines(&self) -> usize {
+        self.machines
+    }
+
+    fn machine_of_slot(&self, slot: usize) -> usize {
+        slot % self.machines
+    }
 }
 
 /// Computes arrival times for messages between machines.
 ///
 /// Implementations account bandwidth/latency however they like
 /// (`chaos-net`'s `Fabric` models NIC rate servers and a switch); the
-/// scheduler only needs the delivery timestamp.
+/// executors only need the delivery timestamp.
 pub trait Network {
     /// Delivery time of a `bytes`-sized message sent at `now` from machine
     /// `from` to machine `to`.
     fn send(&mut self, now: Time, from: usize, to: usize, bytes: u64) -> Time;
+
+    /// A lower bound on cross-machine delivery delay: for every
+    /// `from != to`, `send(now, from, to, bytes) >= now + min_latency()`
+    /// must hold regardless of network state. This is the safe lookahead
+    /// the parallel backend uses to size its synchronization windows; `0`
+    /// (the default) disables parallel dispatch and degrades it to a
+    /// sequential drain.
+    fn min_latency(&self) -> Time {
+        0
+    }
+
+    /// The exact, state-independent latency of a machine-local delivery:
+    /// `send(now, m, m, bytes) == now + local_latency(m)` must hold for
+    /// every `bytes`. The parallel backend uses this to time same-machine
+    /// sends inside a window without touching shared network state (the
+    /// real `send` call is replayed afterwards and cross-checked).
+    fn local_latency(&self, machine: usize) -> Time {
+        let _ = machine;
+        0
+    }
 }
 
 /// The zero-latency network: every message arrives at its send time.
@@ -142,7 +200,7 @@ impl Network for () {
     }
 }
 
-/// A buffered outgoing message (applied by the scheduler after the handler
+/// A buffered outgoing message (applied by the executor after the handler
 /// returns, preserving in-handler ordering).
 pub enum Send<A, M> {
     /// Route through the network from machine `from` to the addressee's
@@ -207,126 +265,8 @@ impl<A, M> Ctx<A, M> {
     }
 
     /// Drains the buffered sends.
-    fn take(&mut self) -> Vec<Send<A, M>> {
+    pub(crate) fn take(&mut self) -> Vec<Send<A, M>> {
         std::mem::take(&mut self.out)
-    }
-}
-
-/// A queued message plus the generation it was sent under.
-struct Envelope<M> {
-    gen: u32,
-    msg: M,
-}
-
-/// The actor scheduler: event queue, generation filtering and dispatch.
-///
-/// The scheduler does not own the actors — [`Scheduler::run`] borrows an
-/// actor table ordered by [`Topology`] slot, so the embedding system keeps
-/// typed access to its actors for reporting and result collection.
-pub struct Scheduler<T: Topology, M> {
-    topology: T,
-    queue: EventQueue<Envelope<M>>,
-    /// Safety valve for the event loop (a wedged protocol would otherwise
-    /// spin forever). Defaults to effectively unlimited.
-    pub max_events: u64,
-}
-
-impl<T: Topology, M> Scheduler<T, M> {
-    /// Creates an idle scheduler over `topology`.
-    pub fn new(topology: T) -> Self {
-        Self {
-            topology,
-            queue: EventQueue::new(),
-            max_events: u64::MAX,
-        }
-    }
-
-    /// The topology this scheduler routes with.
-    pub fn topology(&self) -> &T {
-        &self.topology
-    }
-
-    /// Current virtual time (timestamp of the last delivered event).
-    pub fn now(&self) -> Time {
-        self.queue.now()
-    }
-
-    /// Number of events delivered so far.
-    pub fn delivered(&self) -> u64 {
-        self.queue.delivered()
-    }
-
-    /// Number of events still queued.
-    pub fn pending(&self) -> usize {
-        self.queue.len()
-    }
-
-    /// Injects a message directly into the queue (bootstrap, external
-    /// stimuli).
-    pub fn post(&mut self, at: Time, to: T::Addr, gen: u32, msg: M) {
-        self.queue
-            .push(at, self.topology.slot(to), Envelope { gen, msg });
-    }
-
-    /// Queues the sends buffered in `ctx`: `Net` sends are timed by the
-    /// network model, `At` sends are delivered verbatim. All envelopes are
-    /// stamped with the context's (possibly handler-updated) generation.
-    pub fn absorb<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N) {
-        let gen = ctx.gen;
-        for s in ctx.take() {
-            match s {
-                Send::Net {
-                    from,
-                    to,
-                    bytes,
-                    msg,
-                } => {
-                    let arrival = net.send(ctx.now, from, self.topology.machine(to), bytes);
-                    self.queue
-                        .push(arrival, self.topology.slot(to), Envelope { gen, msg });
-                }
-                Send::At { at, to, msg } => {
-                    self.queue
-                        .push(at, self.topology.slot(to), Envelope { gen, msg });
-                }
-            }
-        }
-    }
-
-    /// Runs the event loop until the queue drains: pop the next event,
-    /// drop it if its generation is stale, dispatch to the owning actor,
-    /// absorb the actor's sends.
-    ///
-    /// `actors` must be ordered by [`Topology`] slot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the actor table size disagrees with the topology or the
-    /// event budget is exceeded (a wedged protocol).
-    pub fn run<N: Network + ?Sized>(
-        &mut self,
-        actors: &mut [&mut dyn Actor<Addr = T::Addr, Msg = M>],
-        net: &mut N,
-    ) {
-        assert_eq!(
-            actors.len(),
-            self.topology.slots(),
-            "actor table must cover every topology slot"
-        );
-        while let Some(ev) = self.queue.pop() {
-            assert!(
-                self.queue.delivered() < self.max_events,
-                "event budget exceeded; protocol likely wedged"
-            );
-            let actor = &mut *actors[ev.dst];
-            let gen = actor.generation();
-            if ev.msg.gen < gen {
-                continue; // Stale pre-recovery message.
-            }
-            let mut ctx = Ctx::new(ev.time, gen.max(ev.msg.gen));
-            actor.handle(&mut ctx, ev.msg.msg);
-            self.absorb(&mut ctx, net);
-        }
     }
 }
 
@@ -334,185 +274,40 @@ impl<T: Topology, M> Scheduler<T, M> {
 mod tests {
     use super::*;
 
-    /// Counts deliveries; replies to every even payload with payload - 1.
-    struct Echo {
-        slot: usize,
-        gen: u32,
-        seen: Vec<u64>,
-    }
-
-    impl Actor for Echo {
-        type Addr = usize;
-        type Msg = u64;
-
-        fn generation(&self) -> u32 {
-            self.gen
-        }
-
-        fn handle(&mut self, ctx: &mut Ctx<usize, u64>, msg: u64) {
-            self.seen.push(msg);
-            if msg > 0 && msg.is_multiple_of(2) {
-                ctx.send(self.slot, (self.slot + 1) % 2, msg - 1, 64);
-            }
-        }
-    }
-
-    fn echo(slot: usize) -> Echo {
-        Echo {
-            slot,
-            gen: 0,
-            seen: Vec::new(),
+    #[test]
+    fn round_robin_saturates_zero_machines() {
+        let topo = SlotTopology::round_robin(4, 0);
+        assert_eq!(topo.machines(), 1);
+        for s in 0..4 {
+            assert_eq!(topo.machine(s), 0);
+            assert_eq!(topo.machine_of_slot(s), 0);
         }
     }
 
     #[test]
-    fn delivers_in_time_then_insertion_order() {
-        let mut a = echo(0);
-        let mut sched: Scheduler<SlotTopology, u64> =
-            Scheduler::new(SlotTopology::single_machine(1));
-        sched.post(20, 0, 0, 3);
-        sched.post(10, 0, 0, 1);
-        sched.post(20, 0, 0, 5);
-        sched.run(&mut [&mut a], &mut ());
-        assert_eq!(a.seen, vec![1, 3, 5]);
-        assert_eq!(sched.delivered(), 3);
-        assert_eq!(sched.now(), 20);
+    fn round_robin_allows_zero_slots() {
+        let topo = SlotTopology::round_robin(0, 3);
+        assert_eq!(topo.slots(), 0);
+        assert_eq!(topo.machines(), 3);
+        // An empty topology still drives an (empty) run to completion.
+        let mut sched: SequentialExecutor<SlotTopology, ()> = SequentialExecutor::new(topo);
+        let stats = sched.run(&mut [], &mut (), u64::MAX);
+        assert_eq!(stats.delivered, 0);
     }
 
     #[test]
-    fn handler_sends_route_through_network() {
-        /// Fixed 5-tick latency between distinct machines.
-        struct FixedLatency;
-        impl Network for FixedLatency {
-            fn send(&mut self, now: Time, from: usize, to: usize, _bytes: u64) -> Time {
-                now + if from == to { 0 } else { 5 }
-            }
-        }
-        let mut a = echo(0);
-        let mut b = echo(1);
-        let mut sched: Scheduler<SlotTopology, u64> =
-            Scheduler::new(SlotTopology::round_robin(2, 2));
-        sched.post(0, 0, 0, 4);
-        sched.run(&mut [&mut a, &mut b], &mut FixedLatency);
-        // 4 at t=0 on a; 3 at t=5 on b; (odd, stops).
-        assert_eq!(a.seen, vec![4]);
-        assert_eq!(b.seen, vec![3]);
-        assert_eq!(sched.now(), 5);
+    fn round_robin_degenerate_both_zero() {
+        let topo = SlotTopology::round_robin(0, 0);
+        assert_eq!(topo.slots(), 0);
+        assert_eq!(topo.machines(), 1);
     }
 
     #[test]
-    fn stale_generations_are_dropped() {
-        let mut a = echo(0);
-        a.gen = 2;
-        let mut sched: Scheduler<SlotTopology, u64> =
-            Scheduler::new(SlotTopology::single_machine(1));
-        sched.post(0, 0, 1, 7); // gen 1 < actor gen 2: dropped
-        sched.post(1, 0, 2, 9); // current generation: delivered
-        sched.post(2, 0, 3, 11); // future generation: delivered
-        sched.run(&mut [&mut a], &mut ());
-        assert_eq!(a.seen, vec![9, 11]);
-        assert_eq!(sched.delivered(), 3, "stale events still count as delivered");
-    }
-
-    #[test]
-    fn at_sends_bypass_the_network() {
-        /// Panics if asked to time anything.
-        struct NoNet;
-        impl Network for NoNet {
-            fn send(&mut self, _now: Time, _from: usize, _to: usize, _bytes: u64) -> Time {
-                panic!("At sends must not touch the network");
-            }
+    fn slot_machine_inverse_contract() {
+        let topo = SlotTopology::round_robin(10, 3);
+        for addr in 0..10 {
+            assert_eq!(topo.machine(addr), topo.machine_of_slot(topo.slot(addr)));
+            assert!(topo.machine(addr) < topo.machines());
         }
-        struct Sleeper {
-            fired: bool,
-        }
-        impl Actor for Sleeper {
-            type Addr = usize;
-            type Msg = &'static str;
-            fn handle(&mut self, ctx: &mut Ctx<usize, &'static str>, msg: &'static str) {
-                match msg {
-                    "start" => ctx.at(ctx.now + 100, 0, "alarm"),
-                    "alarm" => self.fired = true,
-                    _ => unreachable!(),
-                }
-            }
-        }
-        let mut s = Sleeper { fired: false };
-        let mut sched: Scheduler<SlotTopology, &'static str> =
-            Scheduler::new(SlotTopology::single_machine(1));
-        sched.post(0, 0, 0, "start");
-        sched.run(&mut [&mut s], &mut NoNet);
-        assert!(s.fired);
-        assert_eq!(sched.now(), 100);
-    }
-
-    #[test]
-    fn event_budget_catches_wedged_protocols() {
-        /// Sends itself a message forever.
-        struct Spinner {
-            slot: usize,
-        }
-        impl Actor for Spinner {
-            type Addr = usize;
-            type Msg = ();
-            fn handle(&mut self, ctx: &mut Ctx<usize, ()>, _msg: ()) {
-                ctx.at(ctx.now + 1, self.slot, ());
-            }
-        }
-        let mut s = Spinner { slot: 0 };
-        let mut sched: Scheduler<SlotTopology, ()> =
-            Scheduler::new(SlotTopology::single_machine(1));
-        sched.max_events = 1000;
-        sched.post(0, 0, 0, ());
-        let wedged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sched.run(&mut [&mut s], &mut ());
-        }));
-        assert!(wedged.is_err(), "budget must trip on an endless self-send");
-    }
-
-    #[test]
-    fn generation_updates_mid_handler_stamp_subsequent_sends() {
-        /// Bumps its generation on "recover" and notifies a peer.
-        struct Recoverer {
-            gen: u32,
-        }
-        impl Actor for Recoverer {
-            type Addr = usize;
-            type Msg = &'static str;
-            fn generation(&self) -> u32 {
-                self.gen
-            }
-            fn handle(&mut self, ctx: &mut Ctx<usize, &'static str>, msg: &'static str) {
-                if msg == "recover" {
-                    self.gen += 1;
-                    ctx.gen = self.gen;
-                    ctx.send(0, 1, "new-era", 64);
-                }
-            }
-        }
-        struct Peer {
-            gen: u32,
-            got: bool,
-        }
-        impl Actor for Peer {
-            type Addr = usize;
-            type Msg = &'static str;
-            fn generation(&self) -> u32 {
-                self.gen
-            }
-            fn handle(&mut self, _ctx: &mut Ctx<usize, &'static str>, msg: &'static str) {
-                assert_eq!(msg, "new-era");
-                self.got = true;
-            }
-        }
-        let mut r = Recoverer { gen: 0 };
-        // The peer is already in generation 1: only a post-recovery message
-        // may reach it.
-        let mut p = Peer { gen: 1, got: false };
-        let mut sched: Scheduler<SlotTopology, &'static str> =
-            Scheduler::new(SlotTopology::single_machine(2));
-        sched.post(0, 0, 0, "recover");
-        sched.run(&mut [&mut r, &mut p], &mut ());
-        assert!(p.got, "handler-bumped generation must reach the envelope");
     }
 }

@@ -1,0 +1,1582 @@
+//! Deterministic parallel executor: per-machine event lanes under
+//! conservative time-window synchronization.
+//!
+//! # How it stays bit-identical to the sequential backend
+//!
+//! The sequential executor delivers events in `(time, insertion-order)`
+//! order from one global queue. The parallel backend reproduces exactly
+//! that order while running handlers concurrently, by exploiting the one
+//! structural fact a distributed-system simulation offers: **messages
+//! between machines take time**. With `L = Network::min_latency()` as the
+//! safe lookahead, any message sent inside the window `[t, t + L)` to
+//! *another* machine arrives at or after `t + L` — so within one window,
+//! machines cannot affect each other, and each machine's events can be
+//! dispatched on its own thread.
+//!
+//! Per window, three phases:
+//!
+//! 1. **Dispatch** — every machine (*lane*) processes its queued events
+//!    with `time < window_end` in lane order on a worker thread.
+//!    Same-machine sends that land inside the window (local delivery is
+//!    below the lookahead) are executed immediately via a lane-local
+//!    overlay queue, ordered by `(time, spawning event, send index)` —
+//!    which is exactly the global tie-break restricted to the lane,
+//!    because spawned events always carry later insertion orders than
+//!    anything queued before the window. Handlers never touch shared
+//!    network state: local arrivals are predicted with the constant
+//!    [`Network::local_latency`].
+//! 2. **Replay** — the coordinator merges the per-lane dispatch records
+//!    back into the exact global `(time, insertion-order)` sequence and
+//!    absorbs every send in that order: insertion orders are assigned
+//!    from the global counter, and every network send is issued against
+//!    the real (mutable) `Network` in the same order and with the same
+//!    arguments as the sequential backend would — so rate-server queues,
+//!    switch contention and statistics evolve identically. Predicted
+//!    local arrivals are cross-checked against the real call.
+//! 3. **Advance** — cross-machine arrivals (all `>= window_end` by the
+//!    lookahead contract, which replay asserts) are delivered into their
+//!    destination lanes, and the next window starts at the earliest
+//!    pending event.
+//!
+//! The result is a run that is a pure function of its inputs — same final
+//! actor states, same virtual times, same network statistics, same event
+//! count — regardless of thread count or OS scheduling. The property
+//! tests in the workspace root pin this equivalence against the
+//! sequential backend on the full engine.
+//!
+//! Two granularity adaptations keep the synchronization cost proportional
+//! to actual concurrency: when only one lane has events before the
+//! conservative window end, it runs a *solo* window extended to the next
+//! event of any other lane (self-capping at its first cross-machine send
+//! plus the lookahead, so no other lane's potential response dispatch is
+//! overtaken — see [`Cmd`]); and coordinator↔worker hand-offs spin
+//! briefly before blocking when the host has cores to spare (a parked
+//! wakeup per microsecond-scale window would dominate it).
+//!
+//! When the network offers no lookahead (`min_latency() == 0`, e.g. the
+//! `()` test network) or only one lane/thread is available, `run` degrades
+//! to a sequential drain of the lanes with the same ordering rules.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
+
+use chaos_sim::Time;
+
+use crate::executor::{DynActor, ExecStats, Executor, SequentialExecutor};
+use crate::{Ctx, Network, Topology};
+
+/// An event queued in a lane, keyed by `(time, seq)` — `seq` is the global
+/// insertion order, identical to what the sequential backend's queue would
+/// have assigned.
+struct QueuedEv<M> {
+    time: Time,
+    seq: u64,
+    slot: usize,
+    gen: u32,
+    msg: M,
+}
+
+impl<M> PartialEq for QueuedEv<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<M> Eq for QueuedEv<M> {}
+impl<M> PartialOrd for QueuedEv<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEv<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// An event spawned *inside* the current window by this lane, not yet
+/// assigned a global insertion order. Ordered by `(time, spawning record,
+/// send index)`: spawned events sort after every pre-window event at the
+/// same time (their insertion orders are assigned later), and among
+/// themselves in the order the sequential backend would have absorbed
+/// them.
+struct OverlayEv<M> {
+    time: Time,
+    parent: u32,
+    idx: u32,
+    slot: usize,
+    gen: u32,
+    msg: M,
+}
+
+impl<M> PartialEq for OverlayEv<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.parent, self.idx) == (other.time, other.parent, other.idx)
+    }
+}
+impl<M> Eq for OverlayEv<M> {}
+impl<M> PartialOrd for OverlayEv<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for OverlayEv<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.parent, other.idx).cmp(&(self.time, self.parent, self.idx))
+    }
+}
+
+/// Where a dispatched event came from, for replay ordering.
+enum Origin {
+    /// Popped from the lane queue; carries its true global insertion order.
+    Queued(u64),
+    /// Spawned in-window as send `idx` of dispatch record `parent`; its
+    /// insertion order is assigned when the parent's sends are replayed.
+    Spawned { parent: u32, idx: u32 },
+}
+
+/// One buffered send of a dispatched event, as recorded for replay.
+enum RecSend<M> {
+    /// A same-machine network send that was already consumed in-window;
+    /// replay re-issues the network call (for statistics and ordering) and
+    /// cross-checks the predicted arrival.
+    LocalNet {
+        from: usize,
+        bytes: u64,
+        predicted: Time,
+    },
+    /// A same-machine `at` send consumed in-window; replay only assigns
+    /// its insertion order.
+    LocalAt,
+    /// A network send leaving the window; replay times it on the real
+    /// network and delivers it into the destination lane.
+    Net {
+        from: usize,
+        to_slot: usize,
+        to_machine: usize,
+        bytes: u64,
+        gen: u32,
+        msg: M,
+    },
+    /// An `at` send landing at or beyond the window end.
+    At {
+        at: Time,
+        to_slot: usize,
+        to_machine: usize,
+        gen: u32,
+        msg: M,
+    },
+}
+
+/// One dispatched event: when, which queue position it came from, and the
+/// sends its handler buffered (in handler order).
+struct Record<M> {
+    time: Time,
+    origin: Origin,
+    sends: Vec<RecSend<M>>,
+}
+
+/// A lane's results for one window.
+struct LaneOut<M> {
+    lane: usize,
+    records: Vec<Record<M>>,
+    /// Earliest event left in the lane queue after the window.
+    next: Option<Time>,
+}
+
+/// Coordinator-to-worker commands.
+enum Cmd<M> {
+    /// Process one window on the listed lanes, delivering the attached
+    /// events into their queues first.
+    Window {
+        end: Time,
+        /// `Some(lookahead)` marks a *solo* window: exactly one lane is
+        /// active and `end` extends past `start + lookahead` (to the next
+        /// event of any other lane). The worker must then self-cap at the
+        /// first cross-machine send plus the lookahead, because from that
+        /// point on another lane might dispatch — see `process_window`.
+        solo: Option<Time>,
+        /// Events the whole run may still deliver (`max_events` minus
+        /// deliveries so far): a window exceeding this is a wedged
+        /// protocol, caught worker-side before its records eat the host's
+        /// memory.
+        budget: u64,
+        lanes: Vec<(usize, Vec<QueuedEv<M>>)>,
+    },
+    /// Return lane queues and exit.
+    Stop,
+}
+
+/// Worker-to-coordinator messages.
+enum WorkerMsg<M> {
+    /// All of this worker's active lanes for the window, in one message.
+    Out(Vec<LaneOut<M>>),
+    Lanes(Vec<(usize, BinaryHeap<QueuedEv<M>>)>),
+}
+
+/// A slot-tagged actor reference, as lanes hold them.
+type LaneActor<'a, A, M> = (usize, DynActor<'a, A, M>);
+
+/// A lane as a worker owns it during `run`: its queue, its in-window
+/// overlay, and exclusive mutable access to the actors it hosts.
+struct WorkerLane<'a, A, M> {
+    id: usize,
+    queue: BinaryHeap<QueuedEv<M>>,
+    overlay: BinaryHeap<OverlayEv<M>>,
+    actors: Vec<LaneActor<'a, A, M>>,
+}
+
+/// Sets the shared flag if the owning thread unwinds, so the other side
+/// can stop waiting instead of deadlocking.
+struct PanicFlag<'a>(&'a AtomicBool);
+
+impl Drop for PanicFlag<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, AtomicOrdering::SeqCst);
+        }
+    }
+}
+
+/// One coordinator↔worker rendezvous hand-off (one direction).
+///
+/// Windows are microseconds of work, so when the host has cores to spare
+/// the waiter spins briefly before blocking — a parked-thread wakeup per
+/// window can cost more than the window itself. On saturated or
+/// single-core hosts the spin budget is zero and this degrades to a plain
+/// condvar hand-off. Threads only ever wait inside `run`'s scope.
+struct HandOff<V> {
+    ready: AtomicBool,
+    value: Mutex<Option<V>>,
+    cv: Condvar,
+}
+
+impl<V> HandOff<V> {
+    fn new() -> Self {
+        Self {
+            ready: AtomicBool::new(false),
+            value: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn put(&self, v: V) {
+        *self.value.lock().expect("hand-off lock") = Some(v);
+        self.ready.store(true, AtomicOrdering::Release);
+        self.cv.notify_one();
+    }
+
+    /// Waits (spinning up to `spin` iterations first) until a value is
+    /// available, aborting with `None` when `dead` is set by the other
+    /// side's panic guard.
+    fn take(&self, spin: u32, dead: &AtomicBool) -> Option<V> {
+        let mut spins = 0u32;
+        while spins < spin {
+            if self.ready.load(AtomicOrdering::Acquire) {
+                break;
+            }
+            if dead.load(AtomicOrdering::Relaxed) {
+                return None;
+            }
+            std::hint::spin_loop();
+            spins += 1;
+        }
+        let mut guard = self.value.lock().expect("hand-off lock");
+        loop {
+            if let Some(v) = guard.take() {
+                self.ready.store(false, AtomicOrdering::Relaxed);
+                return Some(v);
+            }
+            if dead.load(AtomicOrdering::Relaxed) {
+                return None;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(guard, std::time::Duration::from_millis(10))
+                .expect("hand-off lock");
+            guard = g;
+        }
+    }
+}
+
+/// A coordinator↔worker slot: one hand-off per direction.
+struct SyncSlot<M> {
+    cmd: HandOff<Cmd<M>>,
+    out: HandOff<WorkerMsg<M>>,
+}
+
+impl<M> SyncSlot<M> {
+    fn new() -> Self {
+        Self {
+            cmd: HandOff::new(),
+            out: HandOff::new(),
+        }
+    }
+}
+
+/// Coordinator-side wait for a worker reply; a dead worker is a panic.
+fn wait_out<M>(slot: &SyncSlot<M>, spin: u32, worker_died: &AtomicBool) -> WorkerMsg<M> {
+    slot.out
+        .take(spin, worker_died)
+        .unwrap_or_else(|| panic!("parallel executor worker panicked"))
+}
+
+/// Spin budget for hand-off waits: spin only when the host has more cores
+/// than the pool needs (busy-waiting on a saturated host steals the very
+/// core the work needs; blocking there is strictly better).
+fn spin_budget(workers: usize) -> u32 {
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > workers => 50_000,
+        _ => 0,
+    }
+}
+
+/// The deterministic parallel backend. See the [module docs](self) for the
+/// synchronization scheme and the determinism argument.
+pub struct ParallelExecutor<T: Topology, M> {
+    topology: T,
+    threads: usize,
+    lanes: Vec<BinaryHeap<QueuedEv<M>>>,
+    /// Global insertion-order counter (mirrors the sequential queue's).
+    seq: u64,
+    now: Time,
+    delivered: u64,
+    windows: u64,
+    /// Safety valve for the event loop (a wedged protocol would otherwise
+    /// spin forever). Defaults to effectively unlimited.
+    pub max_events: u64,
+}
+
+impl<T: Topology, M> ParallelExecutor<T, M> {
+    /// Creates an idle executor over `topology` dispatching on up to
+    /// `threads` worker threads (clamped to the machine count at run
+    /// time; zero behaves as one).
+    pub fn new(topology: T, threads: usize) -> Self {
+        let nlanes = topology.machines().max(1);
+        Self {
+            lanes: (0..nlanes).map(|_| BinaryHeap::new()).collect(),
+            topology,
+            threads: threads.max(1),
+            seq: 0,
+            now: 0,
+            delivered: 0,
+            windows: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Synchronization windows executed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Inherent absorb (no `Sync`/`Send` bounds needed): times `Net` sends
+    /// on the network, delivers `At` sends verbatim, stamps the context
+    /// generation — identical semantics to the sequential backend.
+    fn absorb_sends<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N) {
+        let gen = ctx.gen;
+        for s in ctx.take() {
+            match s {
+                crate::Send::Net {
+                    from,
+                    to,
+                    bytes,
+                    msg,
+                } => {
+                    let machine = self.topology.machine(to);
+                    let arrival = net.send(ctx.now, from, machine, bytes);
+                    let slot = self.topology.slot(to);
+                    self.push(arrival, slot, machine, gen, msg);
+                }
+                crate::Send::At { at, to, msg } => {
+                    let slot = self.topology.slot(to);
+                    let machine = self.topology.machine(to);
+                    self.push(at, slot, machine, gen, msg);
+                }
+            }
+        }
+    }
+
+    /// Queues an event with the next global insertion order.
+    fn push(&mut self, time: Time, slot: usize, machine: usize, gen: u32, msg: M) {
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.lanes[machine].push(QueuedEv {
+            time,
+            seq,
+            slot,
+            gen,
+            msg,
+        });
+    }
+
+    /// Sequential drain of the lanes, used when the network offers no
+    /// lookahead or only one lane/thread is available. Ordering rules are
+    /// identical to the windowed path (global `(time, seq)`).
+    fn run_serial<N: Network + ?Sized>(
+        &mut self,
+        actors: &mut [DynActor<'_, T::Addr, M>],
+        net: &mut N,
+        until: Time,
+    ) {
+        loop {
+            let mut best: Option<(Time, u64, usize)> = None;
+            for (l, q) in self.lanes.iter().enumerate() {
+                if let Some(e) = q.peek() {
+                    if best.is_none_or(|(t, s, _)| (e.time, e.seq) < (t, s)) {
+                        best = Some((e.time, e.seq, l));
+                    }
+                }
+            }
+            let Some((t, _, l)) = best else { break };
+            if t > until {
+                break;
+            }
+            let ev = self.lanes[l].pop().expect("peeked event present");
+            self.now = ev.time;
+            self.delivered += 1;
+            assert!(
+                self.delivered < self.max_events,
+                "event budget exceeded; protocol likely wedged"
+            );
+            let actor = &mut *actors[ev.slot];
+            let gen = actor.generation();
+            if ev.gen < gen {
+                continue; // Stale pre-recovery message.
+            }
+            let mut ctx = Ctx::new(ev.time, gen.max(ev.gen));
+            actor.handle(&mut ctx, ev.msg);
+            self.absorb_sends(&mut ctx, net);
+        }
+    }
+}
+
+impl<T, M> Executor<T, M> for ParallelExecutor<T, M>
+where
+    T: Topology + Sync,
+    M: std::marker::Send,
+{
+    fn topology(&self) -> &T {
+        &self.topology
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn pending(&self) -> usize {
+        self.lanes.iter().map(BinaryHeap::len).sum()
+    }
+
+    fn post(&mut self, at: Time, to: T::Addr, gen: u32, msg: M) {
+        let slot = self.topology.slot(to);
+        let machine = self.topology.machine(to);
+        self.push(at, slot, machine, gen, msg);
+    }
+
+    fn absorb<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N) {
+        self.absorb_sends(ctx, net);
+    }
+
+    fn run<N: Network + ?Sized>(
+        &mut self,
+        actors: &mut [DynActor<'_, T::Addr, M>],
+        net: &mut N,
+        until: Time,
+    ) -> ExecStats {
+        assert_eq!(
+            actors.len(),
+            self.topology.slots(),
+            "actor table must cover every topology slot"
+        );
+        let lookahead = net.min_latency();
+        let nlanes = self.lanes.len();
+        let workers = self.threads.min(nlanes);
+        if workers <= 1 || lookahead == 0 {
+            self.run_serial(actors, net, until);
+            return ExecStats {
+                now: self.now,
+                delivered: self.delivered,
+                windows: self.windows,
+            };
+        }
+        let local_lat: Vec<Time> = (0..nlanes).map(|m| net.local_latency(m)).collect();
+        let max_events = self.max_events;
+
+        // Partition the actor table into per-machine lanes.
+        let mut lane_actors: Vec<Vec<LaneActor<'_, T::Addr, M>>> =
+            (0..nlanes).map(|_| Vec::new()).collect();
+        for (slot, a) in actors.iter_mut().enumerate() {
+            let m = self.topology.machine_of_slot(slot);
+            assert!(m < nlanes, "machine_of_slot out of range");
+            lane_actors[m].push((slot, &mut **a));
+        }
+
+        // Run state lives in locals so the topology can be shared with the
+        // workers while the coordinator mutates counters and inboxes.
+        let mut lanes = std::mem::take(&mut self.lanes);
+        let mut heads: Vec<Option<Time>> = lanes.iter().map(|q| q.peek().map(|e| e.time)).collect();
+        let mut inboxes: Vec<Vec<QueuedEv<M>>> = (0..nlanes).map(|_| Vec::new()).collect();
+        let mut seq = self.seq;
+        let mut now = self.now;
+        let mut delivered = self.delivered;
+        let mut windows = self.windows;
+        let topo = &self.topology;
+        // Panic plumbing: `worker_died` stops the coordinator's spins,
+        // `coordinator_died` stops the workers' — whichever side unwinds,
+        // the other notices and exits so the scope can join and rethrow.
+        let worker_died = AtomicBool::new(false);
+        let coordinator_died = AtomicBool::new(false);
+        let spin = spin_budget(workers);
+        let slots: Vec<SyncSlot<M>> = (0..workers).map(|_| SyncSlot::new()).collect();
+
+        let mut returned: Vec<Option<BinaryHeap<QueuedEv<M>>>> =
+            (0..nlanes).map(|_| None).collect();
+        let mut tail_at_max = false;
+
+        std::thread::scope(|s| {
+            let _coordinator_guard = PanicFlag(&coordinator_died);
+            let mut bundles: Vec<Vec<WorkerLane<'_, T::Addr, M>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (id, (queue, acts)) in lanes.drain(..).zip(lane_actors.drain(..)).enumerate() {
+                bundles[id % workers].push(WorkerLane {
+                    id,
+                    queue,
+                    overlay: BinaryHeap::new(),
+                    actors: acts,
+                });
+            }
+            let lane_worker: Vec<usize> = (0..nlanes).map(|l| l % workers).collect();
+            for (w, bundle) in bundles.into_iter().enumerate() {
+                let slot = &slots[w];
+                let worker_died = &worker_died;
+                let coordinator_died = &coordinator_died;
+                let local_lat = &local_lat;
+                s.spawn(move || {
+                    let _guard = PanicFlag(worker_died);
+                    worker_loop::<T, M>(bundle, slot, spin, coordinator_died, topo, local_lat);
+                });
+            }
+
+            loop {
+                // The next window starts at the earliest pending event
+                // anywhere (lane queues or undelivered inbox arrivals).
+                let next_of = |l: usize, heads: &[Option<Time>], inboxes: &[Vec<QueuedEv<M>>]| {
+                    let h = heads[l];
+                    let i = inboxes[l].iter().map(|e| e.time).min();
+                    match (h, i) {
+                        (None, None) => None,
+                        (a, b) => Some(a.unwrap_or(Time::MAX).min(b.unwrap_or(Time::MAX))),
+                    }
+                };
+                let mut start: Option<Time> = None;
+                let mut start_lane = 0usize;
+                for l in 0..nlanes {
+                    if let Some(n) = next_of(l, &heads, &inboxes) {
+                        if start.is_none_or(|s| n < s) {
+                            start = Some(n);
+                            start_lane = l;
+                        }
+                    }
+                }
+                let Some(start) = start else { break };
+                if start > until {
+                    break;
+                }
+                if start == Time::MAX {
+                    // A window must end *after* its events, and Time has no
+                    // successor here — drain this tail serially after the
+                    // scope (every remaining event is at Time::MAX, so the
+                    // serial `(time, seq)` drain is the sequential order).
+                    tail_at_max = true;
+                    break;
+                }
+                assert!(
+                    delivered < max_events,
+                    "event budget exceeded; protocol likely wedged"
+                );
+                // Conservative end: one lookahead. If every *other* lane's
+                // next event lies at or beyond it, the earliest lane runs a
+                // *solo* window extended to that event — it cannot be
+                // affected before then, and it self-caps at its first
+                // cross-machine send plus the lookahead so no other lane's
+                // (future) dispatches are overtaken.
+                let conservative = start.saturating_add(lookahead);
+                let second = (0..nlanes)
+                    .filter(|&l| l != start_lane)
+                    .filter_map(|l| next_of(l, &heads, &inboxes))
+                    .min()
+                    .unwrap_or(Time::MAX);
+                let horizon = until.saturating_add(1);
+                let (end, solo) = if second >= conservative {
+                    (second.max(conservative).min(horizon), Some(lookahead))
+                } else {
+                    (conservative.min(horizon), None)
+                };
+                windows += 1;
+
+                // A lane participates if it has an event inside the window.
+                // Its whole inbox is delivered on activation (later
+                // arrivals just sit in its queue).
+                let mut per_worker: Vec<Vec<(usize, Vec<QueuedEv<M>>)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                let mut active: Vec<bool> = vec![false; nlanes];
+                for l in 0..nlanes {
+                    if next_of(l, &heads, &inboxes).is_some_and(|n| n < end) {
+                        active[l] = true;
+                        per_worker[lane_worker[l]].push((l, std::mem::take(&mut inboxes[l])));
+                    }
+                }
+                debug_assert!(solo.is_none() || active.iter().filter(|a| **a).count() == 1);
+                let mut commanded: Vec<usize> = Vec::with_capacity(workers);
+                for (w, work) in per_worker.into_iter().enumerate() {
+                    if !work.is_empty() {
+                        commanded.push(w);
+                        slots[w].cmd.put(Cmd::Window {
+                            end,
+                            solo,
+                            budget: max_events - delivered,
+                            lanes: work,
+                        });
+                    }
+                }
+
+                // Collect one reply per commanded worker; the spin aborts
+                // (and panics here) if a worker died.
+                let mut outs: Vec<LaneOut<M>> = (0..nlanes)
+                    .map(|l| LaneOut {
+                        lane: l,
+                        records: Vec::new(),
+                        next: heads[l],
+                    })
+                    .collect();
+                for w in commanded {
+                    match wait_out(&slots[w], spin, &worker_died) {
+                        WorkerMsg::Out(os) => {
+                            for o in os {
+                                let l = o.lane;
+                                outs[l] = o;
+                            }
+                        }
+                        WorkerMsg::Lanes(_) => unreachable!("lanes are only returned on Stop"),
+                    }
+                }
+                for l in 0..nlanes {
+                    if active[l] {
+                        heads[l] = outs[l].next;
+                    }
+                }
+
+                replay(
+                    &mut outs,
+                    net,
+                    if solo.is_some() { None } else { Some(end) },
+                    &mut seq,
+                    &mut now,
+                    &mut delivered,
+                    &mut inboxes,
+                );
+            }
+
+            for slot in &slots {
+                slot.cmd.put(Cmd::Stop);
+            }
+            for slot in &slots {
+                match wait_out(slot, spin, &worker_died) {
+                    WorkerMsg::Lanes(ls) => {
+                        for (id, q) in ls {
+                            returned[id] = Some(q);
+                        }
+                    }
+                    WorkerMsg::Out(_) => unreachable!("no window in flight at Stop"),
+                }
+            }
+        });
+
+        // Restore lane state: returned queues plus arrivals that were never
+        // delivered because the run stopped at the horizon.
+        self.lanes = returned
+            .into_iter()
+            .map(|q| q.expect("every lane returned"))
+            .collect();
+        for (l, inbox) in inboxes.into_iter().enumerate() {
+            for ev in inbox {
+                self.lanes[l].push(ev);
+            }
+        }
+        self.seq = seq;
+        self.now = now;
+        self.delivered = delivered;
+        self.windows = windows;
+        if tail_at_max {
+            // Events scheduled at Time::MAX itself (no window can contain
+            // them: a window's end would need Time::MAX + 1). All pending
+            // events are at that instant, so the serial drain delivers
+            // them in exactly the sequential `(time, seq)` order.
+            self.run_serial(actors, net, until);
+        }
+        ExecStats {
+            now: self.now,
+            delivered: self.delivered,
+            windows: self.windows,
+        }
+    }
+}
+
+/// Merges one window's per-lane dispatch records back into the global
+/// `(time, insertion-order)` sequence and absorbs their sends in exactly
+/// the order the sequential backend would have: assigning insertion orders
+/// from the global counter, issuing every network call against the real
+/// network, and delivering out-of-window arrivals into lane inboxes.
+fn replay<M, N: Network + ?Sized>(
+    outs: &mut [LaneOut<M>],
+    net: &mut N,
+    w_end: Option<Time>,
+    seq: &mut u64,
+    now: &mut Time,
+    delivered: &mut u64,
+    inboxes: &mut [Vec<QueuedEv<M>>],
+) {
+    let nlanes = outs.len();
+    let mut cursor = vec![0usize; nlanes];
+    // Insertion orders assigned to each record's sends, for resolving the
+    // order of spawned events when they reach the front of their lane.
+    let mut assigned: Vec<Vec<Vec<u64>>> = outs
+        .iter()
+        .map(|o| vec![Vec::new(); o.records.len()])
+        .collect();
+    loop {
+        let mut best: Option<(Time, u64, usize)> = None;
+        for l in 0..nlanes {
+            let recs = &outs[l].records;
+            if cursor[l] < recs.len() {
+                let r = &recs[cursor[l]];
+                let s = match r.origin {
+                    Origin::Queued(s) => s,
+                    // The spawning record is earlier in this lane, so its
+                    // sends already have insertion orders.
+                    Origin::Spawned { parent, idx } => {
+                        assigned[l][parent as usize][idx as usize]
+                    }
+                };
+                if best.is_none_or(|(bt, bs, _)| (r.time, s) < (bt, bs)) {
+                    best = Some((r.time, s, l));
+                }
+            }
+        }
+        let Some((t, _, l)) = best else { break };
+        let ri = cursor[l];
+        cursor[l] += 1;
+        *now = t;
+        *delivered += 1;
+        let sends = std::mem::take(&mut outs[l].records[ri].sends);
+        let mut seqs = Vec::with_capacity(sends.len());
+        for send in sends {
+            let sq = *seq;
+            *seq += 1;
+            seqs.push(sq);
+            match send {
+                RecSend::LocalNet {
+                    from,
+                    bytes,
+                    predicted,
+                } => {
+                    let a = net.send(t, from, from, bytes);
+                    assert_eq!(
+                        a, predicted,
+                        "Network::local_latency disagrees with Network::send for machine {from}"
+                    );
+                }
+                RecSend::LocalAt => {}
+                RecSend::Net {
+                    from,
+                    to_slot,
+                    to_machine,
+                    bytes,
+                    gen,
+                    msg,
+                } => {
+                    let a = net.send(t, from, to_machine, bytes);
+                    // `w_end` is None for solo windows, whose arrivals may
+                    // legitimately land inside the (extended) window on
+                    // *inactive* lanes; active-lane safety is enforced by
+                    // the worker-side cross-send cap instead.
+                    if let Some(w_end) = w_end {
+                        assert!(
+                            a >= w_end,
+                            "network lookahead violated: message sent at {t} from machine {from} \
+                             to machine {to_machine} arrived at {a}, inside the window ending {w_end}"
+                        );
+                    }
+                    inboxes[to_machine].push(QueuedEv {
+                        time: a,
+                        seq: sq,
+                        slot: to_slot,
+                        gen,
+                        msg,
+                    });
+                }
+                RecSend::At {
+                    at,
+                    to_slot,
+                    to_machine,
+                    gen,
+                    msg,
+                } => {
+                    debug_assert!(
+                        w_end.is_none_or(|e| at >= e),
+                        "in-window at-send must have been consumed"
+                    );
+                    inboxes[to_machine].push(QueuedEv {
+                        time: at,
+                        seq: sq,
+                        slot: to_slot,
+                        gen,
+                        msg,
+                    });
+                }
+            }
+        }
+        assigned[l][ri] = seqs;
+    }
+}
+
+/// Worker thread body: spins for window commands, processes its lanes, and
+/// returns the lane queues on `Stop` (or exits silently if the coordinator
+/// unwound).
+fn worker_loop<T, M>(
+    mut lanes: Vec<WorkerLane<'_, T::Addr, M>>,
+    slot: &SyncSlot<M>,
+    spin: u32,
+    coordinator_died: &AtomicBool,
+    topo: &T,
+    local_lat: &[Time],
+) where
+    T: Topology + Sync,
+    M: std::marker::Send,
+{
+    while let Some(cmd) = slot.cmd.take(spin, coordinator_died) {
+        match cmd {
+            Cmd::Window {
+                end,
+                solo,
+                budget,
+                lanes: work,
+            } => {
+                let mut outs = Vec::with_capacity(work.len());
+                for (id, deliveries) in work {
+                    let lane = lanes
+                        .iter_mut()
+                        .find(|l| l.id == id)
+                        .expect("lane owned by this worker");
+                    for ev in deliveries {
+                        lane.queue.push(ev);
+                    }
+                    outs.push(process_window(lane, end, solo, topo, local_lat, budget));
+                }
+                slot.out.put(WorkerMsg::Out(outs));
+            }
+            Cmd::Stop => {
+                let ret = lanes.into_iter().map(|l| (l.id, l.queue)).collect();
+                slot.out.put(WorkerMsg::Lanes(ret));
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one lane's events with `time < end` in lane order, consuming
+/// in-window same-machine sends via the overlay and recording everything
+/// for replay.
+///
+/// In a *solo* window (`solo = Some(lookahead)`) the lane runs alone with
+/// an extended `end`; it must self-cap: once an event emits a
+/// cross-machine network send (dispatch time `u0`), another lane might
+/// dispatch as early as the arrival (`>= u0 + lookahead`), so processing
+/// stops before `u0 + lookahead` to keep the global dispatch and network
+/// call order intact. Overlay events stranded past the cap are converted
+/// back into undelivered sends on their spawning records.
+/// Solo windows hand their records back for replay every this-many
+/// dispatches, so an extended window (up to `Time::MAX` when every other
+/// lane is idle) holds O(flush) rather than O(remaining-run) memory.
+const SOLO_FLUSH_RECORDS: usize = 1 << 16;
+
+fn process_window<T, M>(
+    lane: &mut WorkerLane<'_, T::Addr, M>,
+    end: Time,
+    solo: Option<Time>,
+    topo: &T,
+    local_lat: &[Time],
+    budget: u64,
+) -> LaneOut<M>
+where
+    T: Topology,
+{
+    let mut records: Vec<Record<M>> = Vec::new();
+    let mut cap: Time = Time::MAX;
+    let mut count_capped = false;
+    loop {
+        if solo.is_some() && records.len() >= SOLO_FLUSH_RECORDS {
+            // Flush: stopping a solo window early at any point is safe —
+            // every event processed so far is earlier than any other
+            // lane's next event, so global order is preserved and the
+            // remainder simply lands in the next window.
+            count_capped = true;
+            break;
+        }
+        // Next event below the window end (and the solo cross-send cap):
+        // queue wins ties (pre-window events always carry earlier
+        // insertion orders than spawned ones).
+        let bound = end.min(cap);
+        let take_queue = match (
+            lane.queue.peek().filter(|e| e.time < bound),
+            lane.overlay.peek().filter(|e| e.time < bound),
+        ) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(q), Some(o)) => q.time <= o.time,
+        };
+        let (time, slot, env_gen, msg, origin) = if take_queue {
+            let e = lane.queue.pop().expect("peeked event present");
+            (e.time, e.slot, e.gen, e.msg, Origin::Queued(e.seq))
+        } else {
+            let e = lane.overlay.pop().expect("peeked event present");
+            (
+                e.time,
+                e.slot,
+                e.gen,
+                e.msg,
+                Origin::Spawned {
+                    parent: e.parent,
+                    idx: e.idx,
+                },
+            )
+        };
+        assert!(
+            (records.len() as u64) < budget,
+            "event budget exceeded; protocol likely wedged"
+        );
+        let rec_idx = records.len() as u32;
+        let actor = &mut *lane
+            .actors
+            .iter_mut()
+            .find(|(s, _)| *s == slot)
+            .expect("slot hosted on this lane")
+            .1;
+        let agen = actor.generation();
+        if env_gen < agen {
+            // Stale pre-recovery message: counts as a dispatch, sends
+            // nothing.
+            records.push(Record {
+                time,
+                origin,
+                sends: Vec::new(),
+            });
+            continue;
+        }
+        let mut ctx = Ctx::new(time, agen.max(env_gen));
+        actor.handle(&mut ctx, msg);
+        let gen_out = ctx.gen;
+        let buffered = ctx.take();
+        let mut sends = Vec::with_capacity(buffered.len());
+        for (i, s) in buffered.into_iter().enumerate() {
+            match s {
+                crate::Send::Net {
+                    from,
+                    to,
+                    bytes,
+                    msg,
+                } => {
+                    let to_machine = topo.machine(to);
+                    let to_slot = topo.slot(to);
+                    if from == to_machine && to_machine == lane.id {
+                        let predicted = time + local_lat[to_machine];
+                        if predicted < end.min(cap) {
+                            lane.overlay.push(OverlayEv {
+                                time: predicted,
+                                parent: rec_idx,
+                                idx: i as u32,
+                                slot: to_slot,
+                                gen: gen_out,
+                                msg,
+                            });
+                            sends.push(RecSend::LocalNet {
+                                from,
+                                bytes,
+                                predicted,
+                            });
+                            continue;
+                        }
+                    }
+                    if to_machine != lane.id {
+                        if let Some(lookahead) = solo {
+                            // First cross-machine send of this solo window:
+                            // beyond `time + lookahead` another lane might
+                            // dispatch in response, so stop there.
+                            cap = cap.min(time.saturating_add(lookahead));
+                        }
+                    }
+                    sends.push(RecSend::Net {
+                        from,
+                        to_slot,
+                        to_machine,
+                        bytes,
+                        gen: gen_out,
+                        msg,
+                    });
+                }
+                crate::Send::At { at, to, msg } => {
+                    let at = at.max(time);
+                    let to_machine = topo.machine(to);
+                    let to_slot = topo.slot(to);
+                    if to_machine == lane.id && at < end.min(cap) {
+                        lane.overlay.push(OverlayEv {
+                            time: at,
+                            parent: rec_idx,
+                            idx: i as u32,
+                            slot: to_slot,
+                            gen: gen_out,
+                            msg,
+                        });
+                        sends.push(RecSend::LocalAt);
+                    } else {
+                        if to_machine != lane.id && at < end.min(cap) {
+                            // A cross-machine at-send inside the window. In
+                            // a solo window we simply stop before `at` (the
+                            // destination may dispatch then, like the
+                            // cross-send cap). In a conservative window the
+                            // other lane is possibly mid-dispatch at that
+                            // very time, so delivery cannot be deterministic.
+                            match solo {
+                                Some(_) => cap = cap.min(at),
+                                None => panic!(
+                                    "at-send targeting another machine inside the lookahead \
+                                     window; the parallel backend cannot deliver it \
+                                     deterministically (route it through the network or \
+                                     delay it past the lookahead)"
+                                ),
+                            }
+                        }
+                        sends.push(RecSend::At {
+                            at,
+                            to_slot,
+                            to_machine,
+                            gen: gen_out,
+                            msg,
+                        });
+                    }
+                }
+            }
+        }
+        records.push(Record {
+            time,
+            origin,
+            sends,
+        });
+    }
+    // A solo cap may strand overlay events scheduled at or past it; hand
+    // them back to replay as ordinary undelivered sends of their spawning
+    // records (their payloads travel with them).
+    while let Some(e) = lane.overlay.pop() {
+        debug_assert!(
+            count_capped || e.time >= cap,
+            "overlay below the cap must have been consumed"
+        );
+        let send = &mut records[e.parent as usize].sends[e.idx as usize];
+        *send = match send {
+            RecSend::LocalNet { from, bytes, .. } => RecSend::Net {
+                from: *from,
+                to_slot: e.slot,
+                to_machine: lane.id,
+                bytes: *bytes,
+                gen: e.gen,
+                msg: e.msg,
+            },
+            RecSend::LocalAt => RecSend::At {
+                at: e.time,
+                to_slot: e.slot,
+                to_machine: lane.id,
+                gen: e.gen,
+                msg: e.msg,
+            },
+            _ => unreachable!("overlay entries correspond to consumed local sends"),
+        };
+    }
+    LaneOut {
+        lane: lane.id,
+        records,
+        next: lane.queue.peek().map(|e| e.time),
+    }
+}
+
+/// A backend chosen at run time: the sequential executor or the parallel
+/// one, behind one [`Executor`] face. This is what configuration-driven
+/// embedders (the Chaos `Cluster`) hold.
+pub enum BackendExecutor<T: Topology, M> {
+    /// One global queue on the calling thread.
+    Sequential(SequentialExecutor<T, M>),
+    /// Per-machine lanes on a worker pool.
+    Parallel(ParallelExecutor<T, M>),
+}
+
+impl<T: Topology, M> BackendExecutor<T, M> {
+    /// A sequential backend over `topology`.
+    pub fn sequential(topology: T) -> Self {
+        Self::Sequential(SequentialExecutor::new(topology))
+    }
+
+    /// A parallel backend over `topology` with `threads` workers.
+    pub fn parallel(topology: T, threads: usize) -> Self {
+        Self::Parallel(ParallelExecutor::new(topology, threads))
+    }
+
+    /// Sets the event-budget safety valve on whichever backend is active.
+    pub fn set_max_events(&mut self, max: u64) {
+        match self {
+            Self::Sequential(e) => e.max_events = max,
+            Self::Parallel(e) => e.max_events = max,
+        }
+    }
+}
+
+impl<T, M> Executor<T, M> for BackendExecutor<T, M>
+where
+    T: Topology + Sync,
+    M: std::marker::Send,
+{
+    fn topology(&self) -> &T {
+        match self {
+            Self::Sequential(e) => e.topology(),
+            Self::Parallel(e) => e.topology(),
+        }
+    }
+
+    fn now(&self) -> Time {
+        match self {
+            Self::Sequential(e) => e.now(),
+            Self::Parallel(e) => e.now(),
+        }
+    }
+
+    fn delivered(&self) -> u64 {
+        match self {
+            Self::Sequential(e) => e.delivered(),
+            Self::Parallel(e) => e.delivered(),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        match self {
+            Self::Sequential(e) => e.pending(),
+            Self::Parallel(e) => e.pending(),
+        }
+    }
+
+    fn post(&mut self, at: Time, to: T::Addr, gen: u32, msg: M) {
+        match self {
+            Self::Sequential(e) => e.post(at, to, gen, msg),
+            Self::Parallel(e) => e.post(at, to, gen, msg),
+        }
+    }
+
+    fn absorb<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N) {
+        match self {
+            Self::Sequential(e) => e.absorb(ctx, net),
+            Self::Parallel(e) => e.absorb(ctx, net),
+        }
+    }
+
+    fn run<N: Network + ?Sized>(
+        &mut self,
+        actors: &mut [DynActor<'_, T::Addr, M>],
+        net: &mut N,
+        until: Time,
+    ) -> ExecStats {
+        match self {
+            Self::Sequential(e) => e.run(actors, net, until),
+            Self::Parallel(e) => e.run(actors, net, until),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Actor, SlotTopology};
+
+    /// A deterministic network with distinct cross and local latencies and
+    /// stateful per-sender byte accounting, so any divergence in call
+    /// order between backends shows up in the totals.
+    struct TestNet {
+        cross: Time,
+        local: Time,
+        sent: Vec<u64>,
+        calls: u64,
+    }
+
+    impl TestNet {
+        fn new(machines: usize, cross: Time, local: Time) -> Self {
+            Self {
+                cross,
+                local,
+                sent: vec![0; machines],
+                calls: 0,
+            }
+        }
+    }
+
+    impl Network for TestNet {
+        fn send(&mut self, now: Time, from: usize, to: usize, bytes: u64) -> Time {
+            self.calls += 1;
+            self.sent[from] += bytes;
+            if from == to {
+                now + self.local
+            } else {
+                // A pinch of deterministic state-dependence: every call so
+                // far adds a tick, so call *order* affects arrival times.
+                now + self.cross + (self.calls % 3)
+            }
+        }
+
+        fn min_latency(&self) -> Time {
+            self.cross
+        }
+
+        fn local_latency(&self, _machine: usize) -> Time {
+            self.local
+        }
+    }
+
+    /// Gossip: every actor relays a decremented counter to the next
+    /// machine, interleaving a local self-echo through the network and a
+    /// delayed self-event, exercising queue, overlay and cross paths.
+    struct Gossip {
+        slot: usize,
+        n: usize,
+        seen: Vec<(Time, u64)>,
+    }
+
+    impl Actor for Gossip {
+        type Addr = usize;
+        type Msg = u64;
+
+        fn handle(&mut self, ctx: &mut Ctx<usize, u64>, msg: u64) {
+            self.seen.push((ctx.now, msg));
+            if msg == 0 {
+                return;
+            }
+            if msg.is_multiple_of(3) {
+                // Local network echo (lands in-window when local latency
+                // is below the lookahead).
+                ctx.send(self.slot, self.slot, msg - 1, 10);
+            } else if msg.is_multiple_of(5) {
+                // Delayed self event.
+                ctx.at(ctx.now + 2, self.slot, msg - 1);
+            } else {
+                // Cross-machine relay.
+                ctx.send(self.slot, (self.slot + 1) % self.n, msg - 1, 100);
+            }
+        }
+    }
+
+    fn gossip_ring(n: usize) -> Vec<Gossip> {
+        (0..n)
+            .map(|slot| Gossip {
+                slot,
+                n,
+                seen: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn run_gossip<E: Executor<SlotTopology, u64>>(
+        exec: &mut E,
+        n: usize,
+        net: &mut TestNet,
+    ) -> (Vec<Vec<(Time, u64)>>, ExecStats) {
+        let mut actors = gossip_ring(n);
+        for (i, _) in actors.iter().enumerate() {
+            exec.post(i as Time, i, 0, 40 + i as u64);
+        }
+        let mut table: Vec<DynActor<'_, usize, u64>> = actors
+            .iter_mut()
+            .map(|a| a as DynActor<'_, usize, u64>)
+            .collect();
+        let stats = exec.run(&mut table, net, Time::MAX);
+        (actors.into_iter().map(|a| a.seen).collect(), stats)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let n = 4;
+        let topo = SlotTopology::round_robin(n, n);
+        let mut net_seq = TestNet::new(n, 7, 1);
+        let mut seq = SequentialExecutor::new(topo);
+        let (seen_seq, stats_seq) = run_gossip(&mut seq, n, &mut net_seq);
+
+        for threads in [2, 3, 4, 8] {
+            let mut net_par = TestNet::new(n, 7, 1);
+            let mut par = ParallelExecutor::new(topo, threads);
+            let (seen_par, stats_par) = run_gossip(&mut par, n, &mut net_par);
+            assert_eq!(seen_par, seen_seq, "threads={threads}");
+            assert_eq!(stats_par.now, stats_seq.now, "threads={threads}");
+            assert_eq!(stats_par.delivered, stats_seq.delivered, "threads={threads}");
+            assert_eq!(net_par.sent, net_seq.sent, "threads={threads}");
+            assert_eq!(net_par.calls, net_seq.calls, "threads={threads}");
+            assert!(stats_par.windows > 0, "windowed path must have run");
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_degrades_to_serial_drain() {
+        let n = 3;
+        let topo = SlotTopology::round_robin(n, n);
+        let mut seq = SequentialExecutor::new(topo);
+        let mut par = ParallelExecutor::new(topo, 4);
+        let (seen_seq, stats_seq) = {
+            let mut net = ();
+            let mut actors = gossip_ring(n);
+            for i in 0..n {
+                seq.post(0, i, 0, 10 + i as u64);
+            }
+            let mut table: Vec<DynActor<'_, usize, u64>> = actors
+                .iter_mut()
+                .map(|a| a as DynActor<'_, usize, u64>)
+                .collect();
+            let stats = seq.run(&mut table, &mut net, Time::MAX);
+            (
+                actors.into_iter().map(|a| a.seen).collect::<Vec<_>>(),
+                stats,
+            )
+        };
+        let mut net = ();
+        let mut actors = gossip_ring(n);
+        for i in 0..n {
+            par.post(0, i, 0, 10 + i as u64);
+        }
+        let mut table: Vec<DynActor<'_, usize, u64>> = actors
+            .iter_mut()
+            .map(|a| a as DynActor<'_, usize, u64>)
+            .collect();
+        let stats = par.run(&mut table, &mut net, Time::MAX);
+        let seen: Vec<_> = actors.into_iter().map(|a| a.seen).collect();
+        assert_eq!(seen, seen_seq);
+        assert_eq!(stats.now, stats_seq.now);
+        assert_eq!(stats.delivered, stats_seq.delivered);
+        assert_eq!(stats.windows, 0, "no windows without lookahead");
+    }
+
+    #[test]
+    fn horizon_pauses_and_resumes_identically() {
+        let n = 4;
+        let topo = SlotTopology::round_robin(n, n);
+        let mut net_seq = TestNet::new(n, 7, 1);
+        let mut seq = SequentialExecutor::new(topo);
+        let (seen_seq, _) = run_gossip(&mut seq, n, &mut net_seq);
+
+        // Same run, but paused at an arbitrary horizon and resumed.
+        let mut net_par = TestNet::new(n, 7, 1);
+        let mut par = ParallelExecutor::new(topo, 2);
+        let mut actors = gossip_ring(n);
+        for i in 0..n {
+            par.post(i as Time, i, 0, 40 + i as u64);
+        }
+        let mut table: Vec<DynActor<'_, usize, u64>> = actors
+            .iter_mut()
+            .map(|a| a as DynActor<'_, usize, u64>)
+            .collect();
+        par.run(&mut table, &mut net_par, 60);
+        assert!(par.pending() > 0, "horizon must leave events queued");
+        par.run(&mut table, &mut net_par, Time::MAX);
+        let seen: Vec<_> = actors.into_iter().map(|a| a.seen).collect();
+        assert_eq!(seen, seen_seq);
+    }
+
+    #[test]
+    fn generation_filtering_matches_sequential() {
+        struct Flaky {
+            gen: u32,
+            seen: Vec<u64>,
+        }
+        impl Actor for Flaky {
+            type Addr = usize;
+            type Msg = u64;
+            fn generation(&self) -> u32 {
+                self.gen
+            }
+            fn handle(&mut self, ctx: &mut Ctx<usize, u64>, msg: u64) {
+                self.seen.push(msg);
+                if msg == 7 {
+                    // Recover: bump generation; later stale traffic drops.
+                    self.gen += 1;
+                    ctx.gen = self.gen;
+                    ctx.send(0, 1, 100, 10);
+                }
+            }
+        }
+        let topo = SlotTopology::round_robin(2, 2);
+        fn run<E: Executor<SlotTopology, u64>>(exec: &mut E) -> (Vec<u64>, Vec<u64>, u64) {
+            let mut a = Flaky {
+                gen: 0,
+                seen: vec![],
+            };
+            let mut b = Flaky {
+                gen: 1,
+                seen: vec![],
+            };
+            exec.post(0, 0, 0, 7); // triggers recovery on a
+            exec.post(1, 1, 0, 5); // stale for b (gen 0 < 1): dropped
+            exec.post(2, 1, 1, 6); // current for b: delivered
+            let mut table: Vec<DynActor<'_, usize, u64>> = vec![
+                &mut a as DynActor<'_, usize, u64>,
+                &mut b as DynActor<'_, usize, u64>,
+            ];
+            let stats = exec.run(&mut table, &mut TestNet::new(2, 9, 1), Time::MAX);
+            (a.seen, b.seen, stats.delivered)
+        }
+        let seq = run(&mut SequentialExecutor::new(topo));
+        let par = run(&mut ParallelExecutor::new(topo, 2));
+        assert_eq!(seq, par);
+        assert_eq!(seq.0, vec![7]);
+        assert_eq!(seq.1, vec![6, 100]);
+        assert_eq!(seq.2, 4, "stale events still count as delivered");
+    }
+
+    #[test]
+    fn backend_enum_dispatches_both_ways() {
+        let n = 3;
+        let topo = SlotTopology::round_robin(n, n);
+        let mut reports = Vec::new();
+        for mut exec in [
+            BackendExecutor::sequential(topo),
+            BackendExecutor::parallel(topo, 2),
+        ] {
+            let mut net = TestNet::new(n, 6, 1);
+            let (seen, stats) = run_gossip(&mut exec, n, &mut net);
+            reports.push((seen, stats.now, stats.delivered, net.sent));
+        }
+        assert_eq!(reports[0].0, reports[1].0);
+        assert_eq!(reports[0].1, reports[1].1);
+        assert_eq!(reports[0].2, reports[1].2);
+        assert_eq!(reports[0].3, reports[1].3);
+    }
+
+    #[test]
+    fn cross_machine_at_sends_work_in_solo_windows() {
+        // An actor schedules a delayed event on *another* machine while its
+        // own lane runs far ahead of everyone (solo window). The backend
+        // must cap the window and deliver it, not panic — only inside a
+        // conservative (multi-lane) window is such a send undeliverable.
+        struct FarScheduler {
+            slot: usize,
+            seen: Vec<(Time, u64)>,
+        }
+        impl Actor for FarScheduler {
+            type Addr = usize;
+            type Msg = u64;
+            fn handle(&mut self, ctx: &mut Ctx<usize, u64>, msg: u64) {
+                self.seen.push((ctx.now, msg));
+                match msg {
+                    // Lane 0: a long local chain (stays solo), then a
+                    // delayed cross-machine at-send mid-chain. Only lane 0
+                    // fires it — lane 1's own countdown passes 15 too.
+                    n if n >= 10 => {
+                        ctx.at(ctx.now + 1, self.slot, n - 1);
+                        if n == 15 && self.slot == 0 {
+                            ctx.at(ctx.now + 40, 1, 1000);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let topo = SlotTopology::round_robin(2, 2);
+        let run = |mut exec: BackendExecutor<SlotTopology, u64>| {
+            let mut a = FarScheduler {
+                slot: 0,
+                seen: vec![],
+            };
+            let mut b = FarScheduler {
+                slot: 1,
+                seen: vec![],
+            };
+            exec.post(0, 0, 0, 20);
+            let mut table: Vec<DynActor<'_, usize, u64>> = vec![
+                &mut a as DynActor<'_, usize, u64>,
+                &mut b as DynActor<'_, usize, u64>,
+            ];
+            let stats = exec.run(&mut table, &mut TestNet::new(2, 5, 1), Time::MAX);
+            (a.seen, b.seen, stats.now, stats.delivered)
+        };
+        let seq = run(BackendExecutor::sequential(topo));
+        let par = run(BackendExecutor::parallel(topo, 2));
+        assert_eq!(seq, par);
+        assert!(seq.1.contains(&(45, 1000)), "cross at-send delivered");
+    }
+
+    #[test]
+    fn events_at_time_max_are_still_delivered() {
+        // No window can contain Time::MAX (its end would need a successor
+        // time); the backend must drain such a tail serially instead of
+        // silently dropping it.
+        let n = 2;
+        let topo = SlotTopology::round_robin(n, n);
+        let run = |mut exec: BackendExecutor<SlotTopology, u64>| {
+            let mut actors = gossip_ring(n);
+            exec.post(0, 0, 0, 1);
+            exec.post(Time::MAX, 1, 0, 0);
+            let mut table: Vec<DynActor<'_, usize, u64>> = actors
+                .iter_mut()
+                .map(|a| a as DynActor<'_, usize, u64>)
+                .collect();
+            let stats = exec.run(&mut table, &mut TestNet::new(n, 5, 1), Time::MAX);
+            let seen: Vec<_> = actors.into_iter().map(|a| a.seen).collect();
+            (seen, stats.now, stats.delivered, exec.pending())
+        };
+        let seq = run(BackendExecutor::sequential(topo));
+        let par = run(BackendExecutor::parallel(topo, 2));
+        assert_eq!(seq, par);
+        assert_eq!(seq.3, 0, "nothing may remain queued");
+        assert_eq!(seq.1, Time::MAX);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        struct Bomb;
+        impl Actor for Bomb {
+            type Addr = usize;
+            type Msg = u64;
+            fn handle(&mut self, _ctx: &mut Ctx<usize, u64>, msg: u64) {
+                assert!(msg != 3, "boom");
+            }
+        }
+        let topo = SlotTopology::round_robin(2, 2);
+        let mut par = ParallelExecutor::new(topo, 2);
+        par.post(0, 0, 0, 1);
+        par.post(0, 1, 0, 3);
+        let mut a = Bomb;
+        let mut b = Bomb;
+        let mut table: Vec<DynActor<'_, usize, u64>> = vec![
+            &mut a as DynActor<'_, usize, u64>,
+            &mut b as DynActor<'_, usize, u64>,
+        ];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par.run(&mut table, &mut TestNet::new(2, 5, 1), Time::MAX);
+        }));
+        assert!(res.is_err(), "actor panic must surface, not hang");
+    }
+}

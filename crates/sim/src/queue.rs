@@ -119,6 +119,11 @@ impl<M> EventQueue<M> {
         self.seq += 1;
     }
 
+    /// Timestamp of the next event without popping it, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
     /// Pops the next event, advancing the virtual clock to its timestamp.
     pub fn pop(&mut self) -> Option<Scheduled<M>> {
         let e = self.heap.pop()?;
@@ -145,6 +150,18 @@ mod tests {
         q.push(4, 3, "d");
         let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.msg)).collect();
         assert_eq!(order, vec!["b", "d", "a", "c"]);
+    }
+
+    #[test]
+    fn peek_does_not_advance_the_clock() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(9, 0, "x");
+        q.push(4, 0, "y");
+        assert_eq!(q.peek_time(), Some(4));
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(9));
     }
 
     #[test]

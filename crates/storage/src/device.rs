@@ -41,7 +41,7 @@ impl DeviceProfile {
 }
 
 /// Per-direction byte counters for a device.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     /// Bytes read from the device (cache hits excluded).
     pub bytes_read: u64,

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Bench smoke: run the Figure 7 harness on both execution backends, verify
+# the figure output is byte-identical (the simulation is backend-invariant),
+# and record wall-clock timings to BENCH_pr2.json to seed the repo's perf
+# trajectory.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT_JSON="${1:-BENCH_pr2.json}"
+EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
+PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
+
+cargo build --release -p chaos-bench --bin figures
+
+BIN=./target/release/figures
+SEQ_OUT=$(mktemp)
+PAR_OUT=$(mktemp)
+ERR_LOG=$(mktemp)
+trap 'rm -f "$SEQ_OUT" "$PAR_OUT" "$ERR_LOG"' EXIT
+
+# Keep stderr (panics, asserts) out of the compared output but dump it on
+# failure so CI logs show *why* a run died, not just that it did.
+run_backend() {
+    local backend="$1" out="$2"
+    if ! "$BIN" "$EXPERIMENT" --backend "$backend" >"$out" 2>"$ERR_LOG"; then
+        echo "FAIL: $EXPERIMENT --backend $backend exited nonzero; stderr:" >&2
+        cat "$ERR_LOG" >&2
+        exit 1
+    fi
+}
+
+t0=$(date +%s.%N)
+run_backend seq "$SEQ_OUT"
+t1=$(date +%s.%N)
+run_backend "$PAR_BACKEND" "$PAR_OUT"
+t2=$(date +%s.%N)
+
+if ! cmp -s "$SEQ_OUT" "$PAR_OUT"; then
+    echo "FAIL: $EXPERIMENT output differs between backends" >&2
+    diff "$SEQ_OUT" "$PAR_OUT" | head -40 >&2
+    exit 1
+fi
+echo "OK: $EXPERIMENT output is byte-identical across backends"
+
+SEQ_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
+PAR_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
+SPEEDUP=$(python3 -c "print(f'{($t1 - $t0) / ($t2 - $t1):.3f}')")
+NCPU=$(nproc 2>/dev/null || echo 0)
+
+cat >"$OUT_JSON" <<EOF
+{
+  "experiment": "$EXPERIMENT",
+  "scale": "quick",
+  "backends": {
+    "seq": { "wall_seconds": $SEQ_S },
+    "$PAR_BACKEND": { "wall_seconds": $PAR_S }
+  },
+  "seq_over_par_speedup": $SPEEDUP,
+  "identical_output": true,
+  "host_cpus": $NCPU,
+  "recorded_utc": "$(date -u +%FT%TZ)"
+}
+EOF
+echo "timings written to $OUT_JSON:"
+cat "$OUT_JSON"

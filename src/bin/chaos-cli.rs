@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use chaos::algos::{needs_undirected, needs_weights, with_algo, AlgoParams, ALGO_NAMES};
-use chaos::core::{run_chaos, ChaosConfig};
+use chaos::core::{run_chaos, Backend, ChaosConfig};
 use chaos::graph::{io as graph_io, InputGraph, RmatConfig, WebGraphConfig};
 
 struct Args(Vec<String>);
@@ -66,6 +66,8 @@ CLUSTER OPTIONS:
   --one-gige          1 GigE fabric instead of 40 GigE
   --checkpoint        checkpoint vertex values at gather barriers
   --alpha <A>         work-stealing bias (default 1.0; 0 disables, inf always)
+  --backend <B>       event-loop backend: seq (default), par, or par:N
+                      (results are bit-identical; only wall clock differs)
   --seed <S>          RNG seed
 
 ALGORITHMS: {}",
@@ -134,6 +136,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     cfg.mem_budget = args.parsed("--mem-kb", 1024u64)? * 1024;
     cfg.steal_alpha = args.parsed("--alpha", 1.0f64)?;
     cfg.checkpoint = args.flag("--checkpoint");
+    cfg.backend = args.parsed("--backend", Backend::Sequential)?;
     cfg.seed = args.parsed("--seed", cfg.seed)?;
     if args.flag("--hdd") {
         cfg = cfg.with_hdd();
@@ -147,11 +150,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     params.bp_iterations = params.pr_iterations;
 
     println!(
-        "running {algo} on {} vertices / {} edges over {machines} machines ({}, {})...",
+        "running {algo} on {} vertices / {} edges over {machines} machines ({}, {}, backend {})...",
         g.num_vertices,
         g.num_edges(),
         cfg.device.name,
         if args.flag("--one-gige") { "1GigE" } else { "40GigE" },
+        cfg.backend,
     );
     let report = with_algo!(algo, &params, |p| run_chaos(cfg, p, &g).0);
     println!("simulated runtime   {:>10.3} s (preprocess {:.3} s)",

@@ -16,7 +16,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`sim`] | deterministic discrete-event kernel (clock, queue, RNG, rate servers) |
-//! | [`runtime`] | generic actor runtime (Actor trait, scheduler, topology, network routing) |
+//! | [`runtime`] | generic actor runtime (Actor trait, pluggable sequential/parallel executors, topology, network routing) |
 //! | [`net`] | NIC/switch fabric model |
 //! | [`storage`] | chunk sets (memory + real files), device models, page cache |
 //! | [`graph`] | edge lists, RMAT + web-graph generators, partitioner, oracles |
@@ -61,7 +61,9 @@ pub mod prelude {
     pub use chaos_algos::sssp::Sssp;
     pub use chaos_algos::wcc::Wcc;
     pub use chaos_algos::{AlgoParams, ALGO_NAMES};
-    pub use chaos_core::{run_chaos, ChaosConfig, Cluster, FailureSpec, Placement, RunReport};
+    pub use chaos_core::{
+        run_chaos, Backend, ChaosConfig, Cluster, FailureSpec, Placement, RunReport,
+    };
     pub use chaos_gas::{run_sequential, Control, Direction, GasProgram, IterationAggregates};
     pub use chaos_graph::{Edge, InputGraph, RmatConfig, WebGraphConfig};
 }

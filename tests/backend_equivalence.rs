@@ -1,0 +1,155 @@
+//! Execution-backend equivalence: the parallel executor must reproduce
+//! sequential runs bit for bit — same final vertex states *and* the same
+//! simulated completion time, event count and device/fabric statistics.
+//!
+//! This is the determinism contract of `chaos_runtime::parallel` pinned
+//! against the full engine: conservative window synchronization plus
+//! ordered replay means thread count and OS scheduling must never leak
+//! into any simulated quantity.
+
+mod common;
+
+use chaos::prelude::*;
+use common::{directed_graph, test_config, undirected_graph, weighted_graph};
+use proptest::prelude::*;
+
+/// Whether the run had enough lanes and threads for windowed dispatch
+/// (one machine or one thread degrades to a sequential drain).
+fn cfg_machines_allow_windows(rep: &RunReport, threads: usize) -> bool {
+    rep.breakdowns.len() >= 2 && threads >= 2
+}
+
+/// Runs `program` under both backends and asserts bit-identical results.
+fn assert_equivalent<P: GasProgram>(mut cfg: ChaosConfig, threads: usize, program: P, g: &InputGraph)
+where
+    P::VertexState: std::fmt::Debug + PartialEq,
+{
+    cfg.backend = Backend::Sequential;
+    let (rep_seq, states_seq) = run_chaos(cfg.clone(), program.clone(), g);
+    cfg.backend = Backend::Parallel { threads };
+    let (rep_par, states_par) = run_chaos(cfg, program, g);
+    assert_eq!(states_seq, states_par, "final vertex states must match");
+    assert_eq!(
+        rep_seq.runtime, rep_par.runtime,
+        "simulated completion time must match"
+    );
+    assert_eq!(rep_par.backend, Backend::Parallel { threads });
+    if cfg_machines_allow_windows(&rep_par, threads) {
+        assert!(
+            rep_par.windows > 0,
+            "windowed parallel path must actually engage"
+        );
+    }
+    assert_eq!(
+        rep_seq.clone().normalized(),
+        rep_par.clone().normalized(),
+        "whole report must match after clearing provenance"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_configs_run_identically_on_both_backends(
+        machines in 1usize..5,
+        threads in 2usize..5,
+        pick in 0usize..4,
+        scale in 6u32..8,
+        chunk_kb in 4u64..17,
+        window in 2usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut cfg = test_config(machines);
+        cfg.chunk_bytes = chunk_kb * 1024;
+        cfg.batch_window = window;
+        cfg.seed = seed;
+        cfg.backend = Backend::Sequential;
+        let (rep_seq, rep_par) = match pick {
+            0 => {
+                let g = directed_graph(scale);
+                let run = |c: ChaosConfig| run_chaos(c, Pagerank::new(3), &g);
+                let s = run(cfg.clone());
+                cfg.backend = Backend::Parallel { threads };
+                let p = run(cfg);
+                prop_assert_eq!(s.1, p.1);
+                (s.0, p.0)
+            }
+            1 => {
+                let g = undirected_graph(scale);
+                let run = |c: ChaosConfig| run_chaos(c, Wcc::new(), &g);
+                let s = run(cfg.clone());
+                cfg.backend = Backend::Parallel { threads };
+                let p = run(cfg);
+                prop_assert_eq!(s.1, p.1);
+                (s.0, p.0)
+            }
+            2 => {
+                let g = undirected_graph(scale);
+                let run = |c: ChaosConfig| run_chaos(c, Bfs::new(0), &g);
+                let s = run(cfg.clone());
+                cfg.backend = Backend::Parallel { threads };
+                let p = run(cfg);
+                prop_assert_eq!(s.1, p.1);
+                (s.0, p.0)
+            }
+            _ => {
+                let g = directed_graph(scale);
+                let run = |c: ChaosConfig| run_chaos(c, Spmv::new(2), &g);
+                let s = run(cfg.clone());
+                cfg.backend = Backend::Parallel { threads };
+                let p = run(cfg);
+                prop_assert_eq!(s.1, p.1);
+                (s.0, p.0)
+            }
+        };
+        prop_assert_eq!(rep_seq.runtime, rep_par.runtime);
+        prop_assert_eq!(rep_seq.events, rep_par.events);
+        prop_assert_eq!(rep_seq.normalized(), rep_par.normalized());
+    }
+}
+
+#[test]
+fn failure_recovery_is_backend_invariant() {
+    // The abort/restore cycle exercises generation bumps, stale-message
+    // filtering and the 30-second reboot self-event — the paths most
+    // sensitive to event ordering.
+    let g = undirected_graph(8);
+    let mut cfg = test_config(3);
+    cfg.checkpoint = true;
+    cfg.failure = Some(FailureSpec {
+        machine: 1,
+        iteration: 1,
+        downtime: chaos::sim::SECS,
+    });
+    assert_equivalent(cfg, 3, Wcc::new(), &g);
+}
+
+#[test]
+fn centralized_directory_is_backend_invariant() {
+    // The Figure 15 strawman routes every chunk operation through the
+    // machine-0 directory actor: maximal cross-machine traffic into one
+    // lane.
+    let g = directed_graph(8);
+    let mut cfg = test_config(4);
+    cfg.placement = Placement::Centralized;
+    assert_equivalent(cfg, 4, Pagerank::new(3), &g);
+}
+
+#[test]
+fn local_placement_and_stealing_are_backend_invariant() {
+    // Locality-seeking placement plus aggressive stealing maximizes the
+    // master/stealer accumulator exchange.
+    let g = weighted_graph(600, 900, 42);
+    let mut cfg = test_config(3);
+    cfg.placement = Placement::LocalOnly;
+    cfg.steal_alpha = f64::INFINITY;
+    assert_equivalent(cfg, 2, Sssp::new(0), &g);
+}
+
+#[test]
+fn oversubscribed_threads_are_harmless() {
+    // More threads than machines: the pool clamps and results still match.
+    let g = directed_graph(7);
+    assert_equivalent(test_config(2), 16, Pagerank::new(2), &g);
+}
