@@ -1,6 +1,6 @@
 //! Breadth-First Search: level-synchronous frontier expansion.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 
 /// Level of vertices not (yet) reached.
@@ -65,6 +65,34 @@ impl GasProgram for Bfs {
 
     fn aggregate(&self, state: &u32) -> [f64; 4] {
         [if *state != UNREACHED { 1.0 } else { 0.0 }, 0.0, 0.0, 0.0]
+    }
+
+    fn scatter_chunk<S: UpdateSink<()>>(
+        &self,
+        base: VertexId,
+        states: &[u32],
+        edges: &[Edge],
+        iter: u32,
+        out: &mut S,
+    ) {
+        // Frontier test only: vertices at level `iter` announce themselves.
+        for e in edges {
+            if states[(e.src - base) as usize] == iter {
+                out.push(e.dst, ());
+            }
+        }
+    }
+
+    fn gather_chunk(
+        &self,
+        base: VertexId,
+        _states: &[u32],
+        accums: &mut [bool],
+        updates: &[Update<()>],
+    ) {
+        for u in updates {
+            accums[(u.dst - base) as usize] = true;
+        }
     }
 
     fn end_iteration(&mut self, _iter: u32, agg: &IterationAggregates) -> Control {

@@ -1,6 +1,6 @@
 //! Sparse matrix-vector multiplication: one scatter/gather round.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 use chaos_sim::rng::mix2;
 
@@ -60,6 +60,32 @@ impl GasProgram for Spmv {
 
     fn aggregate(&self, state: &(f32, f32)) -> [f64; 4] {
         [state.1 as f64, 0.0, 0.0, 0.0]
+    }
+
+    fn scatter_chunk<S: UpdateSink<f32>>(
+        &self,
+        base: VertexId,
+        states: &[(f32, f32)],
+        edges: &[Edge],
+        _iter: u32,
+        out: &mut S,
+    ) {
+        // Branchless: every edge carries a product term.
+        for e in edges {
+            out.push(e.dst, states[(e.src - base) as usize].0 * e.weight);
+        }
+    }
+
+    fn gather_chunk(
+        &self,
+        base: VertexId,
+        _states: &[(f32, f32)],
+        accums: &mut [ProductSum],
+        updates: &[Update<f32>],
+    ) {
+        for u in updates {
+            accums[(u.dst - base) as usize].0 += u.payload as f64;
+        }
     }
 
     fn end_iteration(&mut self, _iter: u32, _agg: &IterationAggregates) -> Control {

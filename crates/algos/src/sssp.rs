@@ -1,6 +1,6 @@
 //! Single-Source Shortest Paths: Bellman-Ford style relaxation.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 
 /// Distance of unreached vertices.
@@ -80,6 +80,35 @@ impl GasProgram for Sssp {
             Control::Done
         } else {
             Control::Continue
+        }
+    }
+
+    fn scatter_chunk<S: UpdateSink<f32>>(
+        &self,
+        base: VertexId,
+        states: &[(f32, bool)],
+        edges: &[Edge],
+        _iter: u32,
+        out: &mut S,
+    ) {
+        for e in edges {
+            let (dist, changed) = states[(e.src - base) as usize];
+            if changed {
+                out.push(e.dst, dist + e.weight);
+            }
+        }
+    }
+
+    fn gather_chunk(
+        &self,
+        base: VertexId,
+        _states: &[(f32, bool)],
+        accums: &mut [MinDist],
+        updates: &[Update<f32>],
+    ) {
+        for u in updates {
+            let a = &mut accums[(u.dst - base) as usize];
+            a.0 = a.0.min(u.payload);
         }
     }
 }

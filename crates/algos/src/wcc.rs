@@ -1,6 +1,6 @@
 //! Weakly Connected Components via min-label propagation.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 
 /// WCC: every vertex converges to the minimum vertex id in its (weakly)
@@ -61,6 +61,35 @@ impl GasProgram for Wcc {
             Control::Done
         } else {
             Control::Continue
+        }
+    }
+
+    fn scatter_chunk<S: UpdateSink<u64>>(
+        &self,
+        base: VertexId,
+        states: &[(u64, bool)],
+        edges: &[Edge],
+        _iter: u32,
+        out: &mut S,
+    ) {
+        for e in edges {
+            let (label, changed) = states[(e.src - base) as usize];
+            if changed {
+                out.push(e.dst, label);
+            }
+        }
+    }
+
+    fn gather_chunk(
+        &self,
+        base: VertexId,
+        _states: &[(u64, bool)],
+        accums: &mut [MinLabel],
+        updates: &[Update<u64>],
+    ) {
+        for u in updates {
+            let a = &mut accums[(u.dst - base) as usize];
+            a.0 = a.0.min(u.payload);
         }
     }
 }

@@ -1,0 +1,53 @@
+//! One-cell microprobe: runs a single (algorithm, machines, scale) cell
+//! and prints wall time, event count and record throughput — for sizing
+//! host-side optimizations without a full figure sweep.
+//!
+//! ```text
+//! cellstats PR 4 14 [seq|par:N]
+//! ```
+
+use std::time::Instant;
+
+use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
+use chaos_core::{run_chaos, Backend, ChaosConfig};
+use chaos_graph::RmatConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algo = args.first().map(String::as_str).unwrap_or("PR");
+    let machines: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let scale: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let backend: Backend = args
+        .get(3)
+        .map(|s| s.parse().expect("bad backend"))
+        .unwrap_or(Backend::Sequential);
+
+    let cfg_rmat = if needs_weights(algo) {
+        RmatConfig::paper_weighted(scale)
+    } else {
+        RmatConfig::paper(scale)
+    };
+    let mut g = cfg_rmat.generate();
+    if needs_undirected(algo) {
+        g = g.to_undirected();
+    }
+    let mut cfg = ChaosConfig::new(machines);
+    cfg.chunk_bytes = 32 * 1024;
+    cfg.mem_budget = 256 * 1024;
+    cfg.backend = backend;
+    let t0 = Instant::now();
+    let params = AlgoParams::default();
+    let rep = with_algo!(algo, &params, |p| run_chaos(cfg, p, &g).0);
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "{algo} m={machines} scale={scale} backend={}: wall {:.3}s, events {}, \
+         records {}, iters {}, {:.0} events/s, {:.0} records/s",
+        rep.backend,
+        wall,
+        rep.events,
+        rep.records_streamed,
+        rep.iterations,
+        rep.events as f64 / wall,
+        rep.records_streamed as f64 / wall,
+    );
+}

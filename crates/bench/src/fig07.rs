@@ -45,4 +45,7 @@ pub fn run(h: &Harness) {
         h.scale.machines.last().expect("non-empty sweep"),
         sum_at_max / count as f64
     );
+    // Host-throughput numerator for scripts/bench_smoke.sh: a simulated
+    // quantity, so the line is identical across execution backends.
+    println!("records streamed: {}", h.records_streamed());
 }

@@ -1,6 +1,6 @@
 //! Shared experiment plumbing: scales, graph cache, run helpers, printing.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
@@ -75,6 +75,7 @@ pub struct Harness {
     graphs: GraphCache,
     webgraphs: WebGraphCache,
     start: Instant,
+    records: Cell<u64>,
 }
 
 impl Harness {
@@ -86,12 +87,21 @@ impl Harness {
             graphs: Rc::new(RefCell::new(HashMap::new())),
             webgraphs: Rc::new(RefCell::new(HashMap::new())),
             start: Instant::now(),
+            records: Cell::new(0),
         }
     }
 
     /// Elapsed wall-clock seconds since harness creation.
     pub fn elapsed(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
+    }
+
+    /// Edge + update records streamed by every run this harness drove so
+    /// far (the numerator of the bench-smoke throughput metric). The count
+    /// is a simulated quantity — identical across backends — so printing
+    /// it keeps figure output byte-comparable.
+    pub fn records_streamed(&self) -> u64 {
+        self.records.get()
     }
 
     /// RMAT graph at `scale`, shaped for the named algorithm (undirected
@@ -144,7 +154,9 @@ impl Harness {
 
     /// Runs the named algorithm on `graph` under `cfg`.
     pub fn run(&self, algo: &str, cfg: ChaosConfig, graph: &InputGraph) -> RunReport {
-        with_algo!(algo, &self.params, |p| run_chaos(cfg, p, graph).0)
+        let rep = with_algo!(algo, &self.params, |p| run_chaos(cfg, p, graph).0);
+        self.records.set(self.records.get() + rep.records_streamed);
+        rep
     }
 
     /// The algorithm set for all-algorithm figures, cheap ones first.

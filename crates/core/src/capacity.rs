@@ -110,6 +110,7 @@ mod tests {
             steals: 0,
             partitions: 1,
             events: 0,
+            records_streamed: 0,
             backend: crate::config::Backend::Sequential,
             windows: 0,
         }

@@ -208,6 +208,7 @@ impl<P: GasProgram> Cluster<P> {
             steals: self.computes.iter().map(|c| c.steals).sum(),
             partitions: self.params.spec.num_partitions,
             events: self.sched.delivered(),
+            records_streamed: self.computes.iter().map(|c| c.records_processed).sum(),
             backend: self.cfg.backend,
             windows: self.windows,
         }

@@ -8,10 +8,11 @@
 //! (§6.5). The steal criterion is Equation 2 with the α bias of §10.2.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::BuildHasherDefault;
 use std::sync::Arc;
 
-use chaos_gas::{Direction, GasProgram, IterationAggregates, Update};
-use chaos_graph::Edge;
+use chaos_gas::{Direction, GasProgram, IterationAggregates, Update, UpdateSink};
+use chaos_graph::{Edge, PartitionSpec, VertexId};
 use chaos_runtime::Actor;
 use chaos_sim::{Resource, Rng, Time};
 
@@ -20,10 +21,52 @@ use crate::metrics::Breakdown;
 use crate::msg::{DataKind, Msg, PhaseKind, Work, WriteKind, CONTROL_BYTES};
 use crate::runtime::{Addr, Ctx, RunParams};
 
-/// Update chunks grouped by destination partition, ready to flush.
-type PartitionedUpdates<P> = Vec<(usize, Arc<Vec<Update<<P as GasProgram>::Update>>>)>;
+/// Deterministic multiply-xorshift hasher (SplitMix64 finalizer) for the
+/// hot preprocessing maps keyed by vertex id. SipHash dominates the
+/// per-edge degree-binning loop; this hasher is a handful of ALU ops and —
+/// unlike `RandomState` — identical across processes. Map iteration order
+/// is still never load-bearing (degree contributions are summed, which is
+/// commutative).
+#[derive(Default)]
+pub(crate) struct VertexHasher(u64);
+
+impl std::hash::Hasher for VertexHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for non-u64 keys (not used on the hot path).
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut x = self.0 ^ n;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        self.0 = x;
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// Hash-map state for vertex-keyed maps on hot paths.
+pub(crate) type VertexHashState = BuildHasherDefault<VertexHasher>;
 
 /// Progress of one partition being streamed (scatter or gather).
+///
+/// The engine keeps one retired `PartWork` carcass and recycles it (and
+/// the vertex/accumulator buffers, via the engine pools) so starting a
+/// partition in steady state allocates nothing.
 struct PartWork<P: GasProgram> {
     part: usize,
     stolen: bool,
@@ -34,8 +77,6 @@ struct PartWork<P: GasProgram> {
     loaded_at: Time,
     /// Gather-side accumulators (one per vertex of the partition).
     accums: Vec<P::Accum>,
-    /// Scatter-side update output buffers, one per destination partition.
-    out_bufs: Vec<Vec<Update<P::Update>>>,
     outstanding: usize,
     /// In-flight requests per storage engine. A count, not a flag: with an
     /// oversubscribed window (> machine count) two requests can target the
@@ -50,17 +91,16 @@ struct PartWork<P: GasProgram> {
 }
 
 impl<P: GasProgram> PartWork<P> {
-    fn new(part: usize, stolen: bool, now: Time, machines: usize, parts: usize) -> Self {
+    fn new(machines: usize) -> Self {
         Self {
-            part,
-            stolen,
-            started: now,
+            part: 0,
+            stolen: false,
+            started: 0,
             vertices: Vec::new(),
             vchunks_pending: 0,
             loaded: false,
-            loaded_at: now,
+            loaded_at: 0,
             accums: Vec::new(),
-            out_bufs: (0..parts).map(|_| Vec::new()).collect(),
             outstanding: 0,
             requested: vec![0; machines],
             exhausted: vec![false; machines],
@@ -70,9 +110,53 @@ impl<P: GasProgram> PartWork<P> {
         }
     }
 
+    /// Rearms a (new or recycled) carcass for `part`. The vertex and
+    /// accumulator buffers are installed by the caller from the engine
+    /// pools.
+    fn reset(&mut self, part: usize, stolen: bool, now: Time) {
+        self.part = part;
+        self.stolen = stolen;
+        self.started = now;
+        self.vchunks_pending = 0;
+        self.loaded = false;
+        self.loaded_at = now;
+        self.outstanding = 0;
+        self.requested.iter_mut().for_each(|r| *r = 0);
+        self.exhausted.iter_mut().for_each(|e| *e = false);
+        self.exhausted_count = 0;
+        self.inflight_compute = 0;
+        self.dir_exhausted = false;
+    }
+
     fn stream_done(&self, machines: usize) -> bool {
         let exhausted = self.dir_exhausted || self.exhausted_count == machines;
         self.loaded && exhausted && self.outstanding == 0 && self.inflight_compute == 0
+    }
+}
+
+/// Routes kernel-emitted updates into the engine's pooled per-partition
+/// output buffers, recording which buffers filled during the chunk.
+struct PartitionSink<'a, U> {
+    spec: &'a PartitionSpec,
+    bufs: &'a mut [Vec<Update<U>>],
+    /// Target records per update chunk; a buffer crossing this is flushed
+    /// after the kernel returns.
+    cap: usize,
+    /// Buffers that reached `cap` during this chunk, in fill order.
+    full: &'a mut Vec<usize>,
+    produced: u64,
+}
+
+impl<U> UpdateSink<U> for PartitionSink<'_, U> {
+    #[inline]
+    fn push(&mut self, dst: VertexId, payload: U) {
+        self.produced += 1;
+        let tp = self.spec.partition_of(dst);
+        let b = &mut self.bufs[tp];
+        b.push(Update { dst, payload });
+        if b.len() == self.cap {
+            self.full.push(tp);
+        }
     }
 }
 
@@ -128,7 +212,7 @@ struct Preprocess<P: GasProgram> {
     inflight_compute: usize,
     edge_bufs: Vec<Vec<Edge>>,
     redge_bufs: Vec<Vec<Edge>>,
-    degree_maps: Vec<HashMap<u64, u32>>,
+    degree_maps: Vec<HashMap<u64, u32, VertexHashState>>,
     degree_acks_pending: usize,
     flushed: bool,
     _marker: std::marker::PhantomData<P>,
@@ -178,6 +262,20 @@ pub struct ComputeEngine<P: GasProgram> {
 
     own_queue: VecDeque<usize>,
     work: Option<PartWork<P>>,
+    /// Retired [`PartWork`] carcass recycled by the next partition.
+    spare_work: Option<PartWork<P>>,
+    /// Scatter output buffers, one per destination partition. Owned by the
+    /// engine (not per-[`PartWork`]) so their capacity survives across
+    /// partitions and phases; flushing swaps a full buffer out instead of
+    /// reallocating it (see [`ComputeEngine::flush_updates`]).
+    out_bufs: Vec<Vec<Update<P::Update>>>,
+    /// Scratch: partitions whose output buffer filled during the current
+    /// chunk (fill order).
+    flush_scratch: Vec<usize>,
+    /// Recycled vertex-state buffers (partition-sized).
+    state_pool: Vec<Vec<P::VertexState>>,
+    /// Recycled accumulator buffers (partition-sized).
+    accum_pool: Vec<Vec<P::Accum>>,
     scan: StealScan,
     gather_finish: Option<GatherFinish<P>>,
     waiting_getaccums: Option<(usize, Arc<Vec<P::Accum>>)>,
@@ -202,6 +300,9 @@ pub struct ComputeEngine<P: GasProgram> {
     pub breakdown: Breakdown,
     /// Stolen-partition count (metrics).
     pub steals: u64,
+    /// Edge + update records streamed through this engine's scatter/gather
+    /// kernels (throughput accounting; backend- and kernel-invariant).
+    pub records_processed: u64,
     done: bool,
 }
 
@@ -238,7 +339,7 @@ impl<P: GasProgram> ComputeEngine<P> {
                 inflight_compute: 0,
                 edge_bufs: (0..parts).map(|_| Vec::new()).collect(),
                 redge_bufs: (0..parts).map(|_| Vec::new()).collect(),
-                degree_maps: (0..parts).map(|_| HashMap::new()).collect(),
+                degree_maps: (0..parts).map(|_| HashMap::default()).collect(),
                 degree_acks_pending: 0,
                 flushed: false,
                 _marker: std::marker::PhantomData,
@@ -247,6 +348,11 @@ impl<P: GasProgram> ComputeEngine<P> {
             my_parts,
             own_queue: VecDeque::new(),
             work: None,
+            spare_work: None,
+            out_bufs: (0..parts).map(|_| Vec::new()).collect(),
+            flush_scratch: Vec::new(),
+            state_pool: Vec::new(),
+            accum_pool: Vec::new(),
             scan: StealScan::idle(),
             gather_finish: None,
             waiting_getaccums: None,
@@ -264,6 +370,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             getaccums_wait_since: 0,
             breakdown: Breakdown::default(),
             steals: 0,
+            records_processed: 0,
             done: false,
             cfg,
         }
@@ -291,6 +398,53 @@ impl<P: GasProgram> ComputeEngine<P> {
     /// CPU cost in core-nanosecond units for processing `records` records.
     fn chunk_cost(&self, records: usize) -> u64 {
         records as u64 * self.cfg.ns_per_record + self.cfg.msg_cpu_ns
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer pools (hot-path ownership discipline: buffers that stay on
+    // this engine are recycled; buffers handed off in an `Arc` — update
+    // chunks, stolen accumulators — are the protocol's to keep).
+    // ------------------------------------------------------------------
+
+    /// A cleared vertex-state buffer from the pool (capacity retained).
+    fn take_state_buf(&mut self) -> Vec<P::VertexState> {
+        let mut v = self.state_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// A cleared accumulator buffer from the pool (capacity retained).
+    fn take_accum_buf(&mut self) -> Vec<P::Accum> {
+        let mut v = self.accum_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a vertex-state buffer to the pool. Capacity-less buffers
+    /// (fields already moved elsewhere) are dropped so the pool stays
+    /// balanced at one-in, one-out.
+    fn recycle_state_buf(&mut self, mut v: Vec<P::VertexState>) {
+        if v.capacity() > 0 {
+            v.clear();
+            self.state_pool.push(v);
+        }
+    }
+
+    /// Returns an accumulator buffer to the pool (see
+    /// [`ComputeEngine::recycle_state_buf`]).
+    fn recycle_accum_buf(&mut self, mut v: Vec<P::Accum>) {
+        if v.capacity() > 0 {
+            v.clear();
+            self.accum_pool.push(v);
+        }
+    }
+
+    /// Retires a finished partition's work state: buffers return to the
+    /// pools, the carcass is recycled by the next [`PartWork`].
+    fn retire_work(&mut self, mut w: PartWork<P>) {
+        self.recycle_state_buf(std::mem::take(&mut w.vertices));
+        self.recycle_accum_buf(std::mem::take(&mut w.accums));
+        self.spare_work = Some(w);
     }
 
     /// Schedules CPU work, returning nothing; completion arrives as
@@ -419,14 +573,18 @@ impl<P: GasProgram> ComputeEngine<P> {
             *self.pp.degree_maps[p].entry(e.src).or_insert(0) += 1;
             self.pp.edge_bufs[p].push(*e);
             if self.pp.edge_bufs[p].len() >= self.params.edges_per_chunk {
-                let chunk = Arc::new(std::mem::take(&mut self.pp.edge_bufs[p]));
+                // Swap a pre-sized buffer in so the refill never regrows.
+                let buf = &mut self.pp.edge_bufs[p];
+                let chunk = Arc::new(std::mem::replace(buf, Vec::with_capacity(buf.capacity())));
                 self.write_edges(ctx, p, false, chunk);
             }
             if reverse_too {
                 let rp = self.params.spec.partition_of(e.dst);
                 self.pp.redge_bufs[rp].push(*e);
                 if self.pp.redge_bufs[rp].len() >= self.params.edges_per_chunk {
-                    let chunk = Arc::new(std::mem::take(&mut self.pp.redge_bufs[rp]));
+                    let buf = &mut self.pp.redge_bufs[rp];
+                    let chunk =
+                        Arc::new(std::mem::replace(buf, Vec::with_capacity(buf.capacity())));
                     self.write_edges(ctx, rp, true, chunk);
                 }
             }
@@ -564,7 +722,8 @@ impl<P: GasProgram> ComputeEngine<P> {
             self.arrive_barrier(ctx);
             return;
         }
-        for part in self.my_parts.clone() {
+        for i in 0..self.my_parts.len() {
+            let part = self.my_parts[i];
             let records = self.params.spec.len(part);
             let cost = records * self.cfg.ns_per_record + self.cfg.msg_cpu_ns;
             self.schedule_work(ctx, cost, Work::InitPartition { part });
@@ -574,18 +733,17 @@ impl<P: GasProgram> ComputeEngine<P> {
     fn init_partition(&mut self, ctx: &mut Ctx<P>, part: usize) {
         let range = self.params.spec.range(part);
         let base = range.start;
+        let mut states = self.take_state_buf();
         let dv = self.degrees.get(&part);
-        let states: Vec<P::VertexState> = range
-            .clone()
-            .map(|v| {
-                let deg = dv
-                    .and_then(|d| d.get((v - base) as usize))
-                    .copied()
-                    .unwrap_or(0) as u64;
-                self.program.init(v, deg)
-            })
-            .collect();
+        states.extend(range.clone().map(|v| {
+            let deg = dv
+                .and_then(|d| d.get((v - base) as usize))
+                .copied()
+                .unwrap_or(0) as u64;
+            self.program.init(v, deg)
+        }));
         self.write_vertex_set(ctx, part, &states);
+        self.recycle_state_buf(states);
         self.pending_inits -= 1;
         self.maybe_arrive_simple(ctx);
     }
@@ -632,23 +790,23 @@ impl<P: GasProgram> ComputeEngine<P> {
         self.iter = iter;
         self.barrier_sent = false;
         self.ckpt = CkptState::Idle;
-        self.own_queue = self.my_parts.iter().copied().collect();
+        self.own_queue.clear();
+        self.own_queue.extend(self.my_parts.iter().copied());
         self.stealers.clear();
         self.steal_queries.clear();
         self.query_inflight.clear();
         self.pending_getaccums.clear();
         // Steal-scan candidates: every partition not owned by us, visited
-        // in random order (§5.3).
-        let mut cands: Vec<usize> = (0..self.params.spec.num_partitions)
-            .filter(|p| self.params.master(*p) != self.machine)
-            .collect();
-        self.rng.shuffle(&mut cands);
-        self.scan = StealScan {
-            candidates: cands,
-            started: false,
-            awaiting: HashSet::new(),
-            accepted: VecDeque::new(),
-        };
+        // in random order (§5.3). The scan's containers are reused across
+        // phases (capacity retained).
+        self.scan.candidates.clear();
+        self.scan
+            .candidates
+            .extend((0..self.params.spec.num_partitions).filter(|p| self.params.master(*p) != self.machine));
+        self.rng.shuffle(&mut self.scan.candidates);
+        self.scan.started = false;
+        self.scan.awaiting.clear();
+        self.scan.accepted.clear();
         self.advance(ctx);
     }
 
@@ -667,11 +825,14 @@ impl<P: GasProgram> ComputeEngine<P> {
             self.start_partition(ctx, p, false);
             return;
         }
-        // Steal scan: fan out one proposal per foreign partition.
+        // Steal scan: fan out one proposal per foreign partition. The
+        // candidate list is taken (not cloned) around the loop; it is not
+        // consulted again once the scan has started.
         if !self.scan.started {
             self.scan.started = true;
             if self.cfg.steal_alpha != 0.0 {
-                for p in self.scan.candidates.clone() {
+                let cands = std::mem::take(&mut self.scan.candidates);
+                for &p in &cands {
                     self.scan.awaiting.insert(p);
                     ctx.send(
                         self.machine,
@@ -684,6 +845,7 @@ impl<P: GasProgram> ComputeEngine<P> {
                         CONTROL_BYTES,
                     );
                 }
+                self.scan.candidates = cands;
             }
         }
         if let Some(p) = self.scan.accepted.pop_front() {
@@ -697,11 +859,17 @@ impl<P: GasProgram> ComputeEngine<P> {
 
     fn start_partition(&mut self, ctx: &mut Ctx<P>, part: usize, stolen: bool) {
         debug_assert!(self.work.is_none());
-        let mut w = PartWork::new(part, stolen, ctx.now, self.m(), self.params.spec.num_partitions);
+        let mut w = match self.spare_work.take() {
+            Some(w) => w,
+            None => PartWork::new(self.m()),
+        };
+        w.reset(part, stolen, ctx.now);
         let n = self.params.spec.len(part) as usize;
-        w.vertices = vec![P::VertexState::default(); n];
+        w.vertices = self.take_state_buf();
+        w.vertices.resize(n, P::VertexState::default());
         if self.phase == PhaseKind::Gather {
-            w.accums = vec![P::Accum::default(); n];
+            w.accums = self.take_accum_buf();
+            w.accums.resize(n, P::Accum::default());
         }
         if stolen {
             self.steals += 1;
@@ -877,53 +1045,59 @@ impl<P: GasProgram> ComputeEngine<P> {
     }
 
     fn scatter_chunk(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Edge>>) {
-        let dir = self.program.direction();
         let base = self.params.spec.range(part).start;
-        let mut w = self.work.take().expect("scatter work in progress");
+        self.records_processed += data.len() as u64;
+        let w = self.work.as_mut().expect("scatter work in progress");
         debug_assert_eq!(w.part, part);
-        let mut flushes: Vec<usize> = Vec::new();
-        for e in data.iter() {
-            let (v, target) = match dir {
-                Direction::Out => (e.src, e.dst),
-                Direction::In => (e.dst, e.src),
+        // One batched kernel call per chunk; the sink routes updates into
+        // the pooled per-partition buffers. In steady state (no buffer
+        // crossing its flush threshold) this path performs no allocation.
+        let produced = {
+            let mut sink = PartitionSink {
+                spec: &self.params.spec,
+                bufs: &mut self.out_bufs,
+                cap: self.params.updates_per_chunk,
+                full: &mut self.flush_scratch,
+                produced: 0,
             };
-            let state = &w.vertices[(v - base) as usize];
-            if let Some(payload) = self.program.scatter(v, state, e, self.iter) {
-                self.agg.updates_produced += 1;
-                let tp = self.params.spec.partition_of(target);
-                w.out_bufs[tp].push(Update {
-                    dst: target,
-                    payload,
-                });
-                if w.out_bufs[tp].len() >= self.params.updates_per_chunk {
-                    flushes.push(tp);
-                }
-            }
-        }
+            self.program
+                .scatter_chunk(base, &w.vertices, &data, self.iter, &mut sink);
+            sink.produced
+        };
+        self.agg.updates_produced += produced;
         w.inflight_compute -= 1;
-        let chunks: PartitionedUpdates<P> = flushes
-            .into_iter()
-            .map(|tp| (tp, Arc::new(std::mem::take(&mut w.out_bufs[tp]))))
-            .collect();
-        self.work = Some(w);
-        for (tp, chunk) in chunks {
-            self.write_updates(ctx, tp, chunk);
+        let mut k = 0;
+        while k < self.flush_scratch.len() {
+            let tp = self.flush_scratch[k];
+            k += 1;
+            self.flush_updates(ctx, tp);
         }
+        self.flush_scratch.clear();
         self.check_stream_done(ctx);
     }
 
     fn gather_chunk(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Update<P::Update>>>) {
         let base = self.params.spec.range(part).start;
-        let mut w = self.work.take().expect("gather work in progress");
+        self.records_processed += data.len() as u64;
+        let w = self.work.as_mut().expect("gather work in progress");
         debug_assert_eq!(w.part, part);
-        for u in data.iter() {
-            let off = (u.dst - base) as usize;
-            self.program
-                .gather(&mut w.accums[off], u.dst, &w.vertices[off], &u.payload);
-        }
+        self.program
+            .gather_chunk(base, &w.vertices, &mut w.accums, &data);
         w.inflight_compute -= 1;
-        self.work = Some(w);
         self.check_stream_done(ctx);
+    }
+
+    /// Hands a non-empty output buffer to the write path, swapping in an
+    /// equally sized empty buffer so the next chunk streams into retained
+    /// capacity (the `Arc` hand-off is the one allocation a flush costs —
+    /// the chunk itself leaves the engine for good).
+    fn flush_updates(&mut self, ctx: &mut Ctx<P>, tp: usize) {
+        let buf = &mut self.out_bufs[tp];
+        if buf.is_empty() {
+            return;
+        }
+        let full = std::mem::replace(buf, Vec::with_capacity(buf.capacity()));
+        self.write_updates(ctx, tp, Arc::new(full));
     }
 
     fn write_updates(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Update<P::Update>>>) {
@@ -979,18 +1153,8 @@ impl<P: GasProgram> ComputeEngine<P> {
         match self.phase {
             PhaseKind::Scatter => {
                 // Flush partial update buffers, then the partition is done.
-                let bufs: PartitionedUpdates<P> = {
-                    let w = self.work.as_mut().expect("checked above");
-                    let mut out = Vec::new();
-                    for tp in 0..w.out_bufs.len() {
-                        if !w.out_bufs[tp].is_empty() {
-                            out.push((tp, Arc::new(std::mem::take(&mut w.out_bufs[tp]))));
-                        }
-                    }
-                    out
-                };
-                for (tp, chunk) in bufs {
-                    self.write_updates(ctx, tp, chunk);
+                for tp in 0..self.out_bufs.len() {
+                    self.flush_updates(ctx, tp);
                 }
                 let w = self.work.take().expect("checked above");
                 let gp = ctx.now - if stolen { w.loaded_at } else { w.started };
@@ -999,10 +1163,11 @@ impl<P: GasProgram> ComputeEngine<P> {
                 } else {
                     self.breakdown.gp_master += gp;
                 }
+                self.retire_work(w);
                 self.advance(ctx);
             }
             PhaseKind::Gather => {
-                let w = self.work.take().expect("checked above");
+                let mut w = self.work.take().expect("checked above");
                 let gp = ctx.now - if stolen { w.loaded_at } else { w.started };
                 if stolen {
                     self.breakdown.gp_stolen += gp;
@@ -1011,8 +1176,11 @@ impl<P: GasProgram> ComputeEngine<P> {
                 }
                 if stolen {
                     // Hand the accumulators to the master when asked
-                    // (Figure 4, line 52).
-                    let accums = Arc::new(w.accums);
+                    // (Figure 4, line 52). The accumulator buffer leaves
+                    // in an `Arc`; only the rest of the work state is
+                    // recycled.
+                    let accums = Arc::new(std::mem::take(&mut w.accums));
+                    self.retire_work(w);
                     if self.pending_getaccums.remove(&part) {
                         self.send_accums(ctx, part, accums);
                         self.advance(ctx);
@@ -1021,7 +1189,10 @@ impl<P: GasProgram> ComputeEngine<P> {
                         self.getaccums_wait_since = ctx.now;
                     }
                 } else {
-                    self.master_finish_gather(ctx, part, w.vertices, w.accums);
+                    let vertices = std::mem::take(&mut w.vertices);
+                    let accums = std::mem::take(&mut w.accums);
+                    self.retire_work(w);
+                    self.master_finish_gather(ctx, part, vertices, accums);
                 }
             }
             _ => unreachable!("streaming only happens in scatter/gather"),
@@ -1115,9 +1286,12 @@ impl<P: GasProgram> ComputeEngine<P> {
                 *slot += x;
             }
         }
-        // Write the new vertex values back and drop the update set (§6.1).
+        // Write the new vertex values back and drop the update set (§6.1);
+        // the partition-sized buffers return to the engine pools.
         let states = std::mem::take(&mut fin.vertices);
         self.write_vertex_set(ctx, part, &states);
+        self.recycle_state_buf(states);
+        self.recycle_accum_buf(std::mem::take(&mut fin.accums));
         for s in 0..self.m() {
             ctx.send(
                 self.machine,
@@ -1361,6 +1535,13 @@ impl<P: GasProgram> ComputeEngine<P> {
         self.gen = gen;
         ctx.gen = gen;
         self.work = None;
+        // Partial update output of the aborted phase dies with it (the
+        // buffers used to live on the PartWork; now they are pooled on the
+        // engine and must be emptied explicitly).
+        for b in &mut self.out_bufs {
+            b.clear();
+        }
+        self.flush_scratch.clear();
         self.gather_finish = None;
         self.waiting_getaccums = None;
         self.pending_getaccums.clear();
@@ -1659,6 +1840,155 @@ fn pick_engine(
 mod tests {
     use super::pick_engine;
     use chaos_sim::Rng;
+
+    /// Steady-state allocation regression: once warm, streaming a chunk
+    /// through the scatter or gather kernel must not allocate. Flush
+    /// boundaries (a full buffer leaving in an `Arc`) are the one
+    /// sanctioned allocation point and are kept out of these loops.
+    mod allocation_free {
+        use std::sync::Arc;
+
+        use chaos_gas::{Control, GasProgram, IterationAggregates};
+        use chaos_graph::{Edge, PartitionSpec, VertexId};
+        use chaos_runtime::Actor;
+        use chaos_sim::Rng;
+
+        use crate::alloc_count::thread_allocations;
+        use crate::compute_engine::{ComputeEngine, PartWork};
+        use crate::config::ChaosConfig;
+        use crate::msg::{Msg, PhaseKind, Work};
+        use crate::runtime::{Ctx, RunParams};
+
+        /// Minimal branch-free program: every edge emits an update.
+        #[derive(Clone)]
+        struct Flood;
+
+        impl GasProgram for Flood {
+            type VertexState = u64;
+            type Update = u64;
+            type Accum = u64;
+
+            fn name(&self) -> &'static str {
+                "Flood"
+            }
+
+            fn init(&self, v: VertexId, _d: u64) -> u64 {
+                v
+            }
+
+            fn scatter(&self, _v: VertexId, state: &u64, edge: &Edge, _i: u32) -> Option<u64> {
+                Some(state ^ edge.dst)
+            }
+
+            fn gather(&self, acc: &mut u64, _dst: VertexId, _s: &u64, payload: &u64) {
+                *acc = acc.wrapping_add(*payload);
+            }
+
+            fn merge(&self, into: &mut u64, from: &u64) {
+                *into = into.wrapping_add(*from);
+            }
+
+            fn apply(&self, _v: VertexId, _s: &mut u64, _a: &u64, _i: u32) -> bool {
+                false
+            }
+
+            fn end_iteration(&mut self, _i: u32, _a: &IterationAggregates) -> Control {
+                Control::Done
+            }
+        }
+
+        /// An engine frozen mid-stream on partition 0 of a 4-partition
+        /// layout, with enough in-flight accounting that no chunk
+        /// completes the stream (so handlers do pure kernel work).
+        fn mid_stream_engine(phase: PhaseKind) -> ComputeEngine<Flood> {
+            let cfg = Arc::new(ChaosConfig::new(2));
+            let spec = PartitionSpec::with_partitions(256, 4);
+            let params = Arc::new(RunParams::new(&cfg, spec, 20, 16, 8));
+            let mut eng =
+                ComputeEngine::new(0, Arc::clone(&cfg), params, Flood, Rng::new(7));
+            eng.phase = phase;
+            let mut w = PartWork::new(2);
+            w.reset(0, false, 0);
+            w.vertices = (0..64u64).collect();
+            if phase == PhaseKind::Gather {
+                w.accums = vec![0u64; 64];
+            }
+            w.loaded = true;
+            w.outstanding = 1; // Keeps the stream open across chunks.
+            w.inflight_compute = 1_000_000;
+            eng.work = Some(w);
+            eng
+        }
+
+        #[test]
+        fn scatter_chunk_is_allocation_free_after_warmup() {
+            let mut eng = mid_stream_engine(PhaseKind::Scatter);
+            let edges: Arc<Vec<Edge>> = Arc::new(
+                (0..512).map(|i| Edge::new(i % 64, (i * 7) % 256)).collect(),
+            );
+            let mut ctx = Ctx::new(0, 0);
+            let chunk = |eng: &mut ComputeEngine<Flood>, ctx: &mut Ctx<Flood>| {
+                eng.handle(
+                    ctx,
+                    Msg::Processed {
+                        work: Work::ScatterChunk {
+                            part: 0,
+                            data: Arc::clone(&edges),
+                        },
+                    },
+                );
+            };
+            // Warm-up: grow the pooled output buffers to their steady
+            // capacity, then empty them the way a partition boundary does
+            // (capacity is retained).
+            for _ in 0..4 {
+                chunk(&mut eng, &mut ctx);
+            }
+            for b in &mut eng.out_bufs {
+                b.clear();
+            }
+            let before = thread_allocations();
+            for _ in 0..4 {
+                chunk(&mut eng, &mut ctx);
+            }
+            assert_eq!(
+                thread_allocations() - before,
+                0,
+                "steady-state scatter chunks must not allocate"
+            );
+        }
+
+        #[test]
+        fn gather_chunk_is_allocation_free() {
+            let mut eng = mid_stream_engine(PhaseKind::Gather);
+            let updates: Arc<Vec<chaos_gas::Update<u64>>> = Arc::new(
+                (0..512u64)
+                    .map(|i| chaos_gas::Update {
+                        dst: i % 64,
+                        payload: i,
+                    })
+                    .collect(),
+            );
+            let mut ctx = Ctx::new(0, 0);
+            let before = thread_allocations();
+            for _ in 0..8 {
+                eng.handle(
+                    &mut ctx,
+                    Msg::Processed {
+                        work: Work::GatherChunk {
+                            part: 0,
+                            data: Arc::clone(&updates),
+                        },
+                    },
+                );
+            }
+            assert_eq!(
+                thread_allocations() - before,
+                0,
+                "gather chunks never allocate, warm or cold"
+            );
+        }
+    }
 
     #[test]
     fn pick_engine_prefers_idle_engines() {

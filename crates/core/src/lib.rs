@@ -45,6 +45,8 @@
 //! assert!(report.runtime > 0);
 //! ```
 
+#[cfg(test)]
+mod alloc_count;
 pub mod batching;
 pub mod capacity;
 pub mod cluster;

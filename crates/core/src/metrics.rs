@@ -88,6 +88,10 @@ pub struct RunReport {
     pub partitions: usize,
     /// Total events processed by the simulation kernel.
     pub events: u64,
+    /// Edge + update records streamed through the scatter/gather kernels,
+    /// summed over machines (host-throughput accounting; invariant across
+    /// backends and across batched/per-record kernels).
+    pub records_streamed: u64,
     /// Execution backend that drove the run (provenance; does not affect
     /// any simulated quantity).
     pub backend: crate::config::Backend,

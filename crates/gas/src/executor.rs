@@ -8,7 +8,7 @@
 
 use chaos_graph::InputGraph;
 
-use crate::program::{Control, Direction, GasProgram, IterationAggregates};
+use crate::program::{Control, GasProgram, IterationAggregates};
 use crate::record::Update;
 
 /// Outcome of a sequential run.
@@ -60,36 +60,14 @@ pub fn run_sequential<P: GasProgram>(
             "{} failed to converge in {max_iterations} iterations",
             program.name()
         );
-        // Scatter (Figure 1): one pass over the edge list.
+        // Scatter (Figure 1): one pass over the edge list, through the
+        // chunk kernel (specialized programs take their batched path here
+        // too; the default loops over the per-edge `scatter`).
         let mut updates: Vec<Update<P::Update>> = Vec::new();
-        match program.direction() {
-            Direction::Out => {
-                for e in &graph.edges {
-                    if let Some(p) = program.scatter(e.src, &states[e.src as usize], e, iter) {
-                        updates.push(Update {
-                            dst: e.dst,
-                            payload: p,
-                        });
-                    }
-                }
-            }
-            Direction::In => {
-                for e in &graph.edges {
-                    if let Some(p) = program.scatter(e.dst, &states[e.dst as usize], e, iter) {
-                        updates.push(Update {
-                            dst: e.src,
-                            payload: p,
-                        });
-                    }
-                }
-            }
-        }
+        program.scatter_chunk(0, &states, &graph.edges, iter, &mut updates);
         // Gather: fold updates into per-vertex accumulators.
         let mut accums: Vec<P::Accum> = (0..n).map(|_| P::Accum::default()).collect();
-        for u in &updates {
-            let d = u.dst as usize;
-            program.gather(&mut accums[d], u.dst, &states[d], &u.payload);
-        }
+        program.gather_chunk(0, &states, &mut accums, &updates);
         // Apply + aggregates.
         let mut agg = IterationAggregates {
             updates_produced: updates.len() as u64,

@@ -22,6 +22,7 @@ pub mod record;
 
 pub use executor::{run_sequential, SequentialResult};
 pub use program::{
-    Control, Direction, GasProgram, IterationAggregates, CUSTOM_AGGREGATES,
+    Control, Direction, GasProgram, IterationAggregates, PerRecordKernels, UpdateSink,
+    CUSTOM_AGGREGATES,
 };
 pub use record::{Record, Update};

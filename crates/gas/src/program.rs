@@ -2,7 +2,7 @@
 
 use chaos_graph::{Edge, VertexId};
 
-use crate::record::Record;
+use crate::record::{Record, Update};
 
 /// Which edge endpoint supplies scatter state this iteration.
 ///
@@ -43,6 +43,27 @@ impl IterationAggregates {
         for (a, b) in self.custom.iter_mut().zip(other.custom.iter()) {
             *a += b;
         }
+    }
+}
+
+/// Destination for updates emitted by a scatter kernel.
+///
+/// The engine supplies the sink; [`GasProgram::scatter_chunk`] calls
+/// [`UpdateSink::push`] once per produced update, in edge order. Keeping
+/// the sink a trait (rather than a `Vec`) lets the distributed engine
+/// route updates straight into per-partition output buffers without an
+/// intermediate copy.
+pub trait UpdateSink<U> {
+    /// Emits one update addressed to vertex `dst`.
+    fn push(&mut self, dst: VertexId, payload: U);
+}
+
+/// A plain vector is a sink: the sequential executor and tests collect
+/// updates in order.
+impl<U> UpdateSink<U> for Vec<Update<U>> {
+    #[inline]
+    fn push(&mut self, dst: VertexId, payload: U) {
+        Vec::push(self, Update { dst, payload });
     }
 }
 
@@ -145,6 +166,62 @@ pub trait GasProgram: Clone + Send + 'static {
         iter: u32,
     ) -> bool;
 
+    /// Scatters a whole edge chunk against one partition's vertex set.
+    ///
+    /// `base` is the first vertex id of the partition and `states` its
+    /// (loaded) vertex set, so the scatter-side state of vertex `v` is
+    /// `states[v - base]`. The kernel must emit exactly the updates the
+    /// per-edge [`GasProgram::scatter`] would, in edge order — the engine's
+    /// batched/per-edge equivalence is property-tested. Override it on hot
+    /// programs with a branch-light batched body; the default simply loops
+    /// over `scatter` honoring [`GasProgram::direction`].
+    fn scatter_chunk<S: UpdateSink<Self::Update>>(
+        &self,
+        base: VertexId,
+        states: &[Self::VertexState],
+        edges: &[Edge],
+        iter: u32,
+        out: &mut S,
+    ) {
+        match self.direction() {
+            Direction::Out => {
+                for e in edges {
+                    if let Some(p) = self.scatter(e.src, &states[(e.src - base) as usize], e, iter)
+                    {
+                        out.push(e.dst, p);
+                    }
+                }
+            }
+            Direction::In => {
+                for e in edges {
+                    if let Some(p) = self.scatter(e.dst, &states[(e.dst - base) as usize], e, iter)
+                    {
+                        out.push(e.src, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Gathers a whole update chunk into one partition's accumulators.
+    ///
+    /// `base`, `states` and `accums` are partition-local (`v - base`
+    /// indexed); `accums[i]` must end exactly as the per-update
+    /// [`GasProgram::gather`] fold would leave it. Override on hot programs
+    /// for a tight batched loop.
+    fn gather_chunk(
+        &self,
+        base: VertexId,
+        states: &[Self::VertexState],
+        accums: &mut [Self::Accum],
+        updates: &[Update<Self::Update>],
+    ) {
+        for u in updates {
+            let off = (u.dst - base) as usize;
+            self.gather(&mut accums[off], u.dst, &states[off], &u.payload);
+        }
+    }
+
     /// Contribution of a vertex to the custom aggregate slots, sampled after
     /// apply each iteration.
     fn aggregate(&self, _state: &Self::VertexState) -> [f64; CUSTOM_AGGREGATES] {
@@ -163,6 +240,94 @@ pub trait GasProgram: Clone + Send + 'static {
     /// Encoded width of one vertex record, for the storage cost model.
     fn vertex_state_bytes(&self) -> u64 {
         Self::VertexState::ENCODED_BYTES as u64
+    }
+}
+
+/// Adapter that pins a program to the *default* per-record chunk kernels,
+/// ignoring any specialized [`GasProgram::scatter_chunk`] /
+/// [`GasProgram::gather_chunk`] the wrapped program defines.
+///
+/// Every scalar method delegates; the chunk kernels fall back to the trait
+/// defaults (which loop over the delegating `scatter`/`gather`). Running
+/// the same workload with `P` and with `PerRecordKernels<P>` must produce
+/// bit-identical results — the equivalence contract of the kernel API,
+/// pinned by the workspace property tests.
+#[derive(Debug, Clone, Default)]
+pub struct PerRecordKernels<P>(pub P);
+
+impl<P: GasProgram> GasProgram for PerRecordKernels<P> {
+    type VertexState = P::VertexState;
+    type Update = P::Update;
+    type Accum = P::Accum;
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn needs_undirected(&self) -> bool {
+        self.0.needs_undirected()
+    }
+
+    fn init(&self, v: VertexId, out_degree: u64) -> Self::VertexState {
+        self.0.init(v, out_degree)
+    }
+
+    fn direction(&self) -> Direction {
+        self.0.direction()
+    }
+
+    fn uses_reverse_edges(&self) -> bool {
+        self.0.uses_reverse_edges()
+    }
+
+    fn scatter(
+        &self,
+        v: VertexId,
+        state: &Self::VertexState,
+        edge: &Edge,
+        iter: u32,
+    ) -> Option<Self::Update> {
+        self.0.scatter(v, state, edge, iter)
+    }
+
+    fn gather(
+        &self,
+        acc: &mut Self::Accum,
+        dst: VertexId,
+        dst_state: &Self::VertexState,
+        payload: &Self::Update,
+    ) {
+        self.0.gather(acc, dst, dst_state, payload)
+    }
+
+    fn merge(&self, into: &mut Self::Accum, from: &Self::Accum) {
+        self.0.merge(into, from)
+    }
+
+    fn apply(
+        &self,
+        v: VertexId,
+        state: &mut Self::VertexState,
+        acc: &Self::Accum,
+        iter: u32,
+    ) -> bool {
+        self.0.apply(v, state, acc, iter)
+    }
+
+    fn aggregate(&self, state: &Self::VertexState) -> [f64; CUSTOM_AGGREGATES] {
+        self.0.aggregate(state)
+    }
+
+    fn end_iteration(&mut self, iter: u32, agg: &IterationAggregates) -> Control {
+        self.0.end_iteration(iter, agg)
+    }
+
+    fn update_payload_bytes(&self) -> u64 {
+        self.0.update_payload_bytes()
+    }
+
+    fn vertex_state_bytes(&self) -> u64 {
+        self.0.vertex_state_bytes()
     }
 }
 

@@ -87,6 +87,68 @@ pub(crate) struct Envelope<M> {
     pub(crate) msg: M,
 }
 
+/// The one definition of the per-event delivery contract every backend
+/// shares: stale-generation filtering, context arming, handler dispatch.
+///
+/// Returns whether the handler ran. `false` means the envelope was stale
+/// (its generation predates the actor's) and was dropped without side
+/// effects — the context is untouched and holds no sends. When `true`, the
+/// handler's buffered sends are left in `ctx` for the caller to absorb:
+/// queue-and-go for the serial paths ([`absorb_sends_into`]), record-for-
+/// replay inside the parallel backend's windows.
+///
+/// `ctx` is reused across deliveries (capacity retained); both executors
+/// route every event through this function, so the bit-identical contract
+/// between them has exactly one implementation.
+pub(crate) fn dispatch<A: Copy, M>(
+    actor: &mut (dyn Actor<Addr = A, Msg = M> + std::marker::Send),
+    ctx: &mut Ctx<A, M>,
+    time: Time,
+    env_gen: u32,
+    msg: M,
+) -> bool {
+    let agen = actor.generation();
+    if env_gen < agen {
+        return false;
+    }
+    ctx.reset(time, agen.max(env_gen));
+    actor.handle(ctx, msg);
+    true
+}
+
+/// The one definition of the absorb contract: `Net` sends are timed by the
+/// network model (in buffered order — network state evolves with call
+/// order), `At` sends are delivered verbatim, and every envelope is
+/// stamped with the context's (possibly handler-updated) generation.
+/// `push` receives `(time, slot, machine, gen, msg)` and enqueues into
+/// whatever structure the backend uses (global queue or per-machine lane).
+pub(crate) fn absorb_sends_into<T: Topology, M, N: Network + ?Sized>(
+    ctx: &mut Ctx<T::Addr, M>,
+    topology: &T,
+    net: &mut N,
+    mut push: impl FnMut(Time, usize, usize, u32, M),
+) {
+    let gen = ctx.gen;
+    let now = ctx.now;
+    for s in ctx.drain_sends() {
+        match s {
+            crate::Send::Net {
+                from,
+                to,
+                bytes,
+                msg,
+            } => {
+                let machine = topology.machine(to);
+                let arrival = net.send(now, from, machine, bytes);
+                push(arrival, topology.slot(to), machine, gen, msg);
+            }
+            crate::Send::At { at, to, msg } => {
+                push(at, topology.slot(to), topology.machine(to), gen, msg);
+            }
+        }
+    }
+}
+
 /// The sequential executor: one global event queue, generation filtering
 /// and dispatch — the classic deterministic DES loop.
 ///
@@ -135,25 +197,10 @@ impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
     }
 
     fn absorb<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N) {
-        let gen = ctx.gen;
-        for s in ctx.take() {
-            match s {
-                crate::Send::Net {
-                    from,
-                    to,
-                    bytes,
-                    msg,
-                } => {
-                    let arrival = net.send(ctx.now, from, self.topology.machine(to), bytes);
-                    self.queue
-                        .push(arrival, self.topology.slot(to), Envelope { gen, msg });
-                }
-                crate::Send::At { at, to, msg } => {
-                    self.queue
-                        .push(at, self.topology.slot(to), Envelope { gen, msg });
-                }
-            }
-        }
+        let queue = &mut self.queue;
+        absorb_sends_into(ctx, &self.topology, net, |time, slot, _machine, gen, msg| {
+            queue.push(time, slot, Envelope { gen, msg });
+        });
     }
 
     fn run<N: Network + ?Sized>(
@@ -167,6 +214,9 @@ impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
             self.topology.slots(),
             "actor table must cover every topology slot"
         );
+        // One context for the whole drain: its send buffer's capacity is
+        // reused across events, so the steady-state loop never allocates.
+        let mut ctx = Ctx::new(self.queue.now(), 0);
         loop {
             match self.queue.peek_time() {
                 None => break,
@@ -178,14 +228,9 @@ impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
                 self.queue.delivered() < self.max_events,
                 "event budget exceeded; protocol likely wedged"
             );
-            let actor = &mut *actors[ev.dst];
-            let gen = actor.generation();
-            if ev.msg.gen < gen {
-                continue; // Stale pre-recovery message.
+            if dispatch(&mut *actors[ev.dst], &mut ctx, ev.time, ev.msg.gen, ev.msg.msg) {
+                self.absorb(&mut ctx, net);
             }
-            let mut ctx = Ctx::new(ev.time, gen.max(ev.msg.gen));
-            actor.handle(&mut ctx, ev.msg.msg);
-            self.absorb(&mut ctx, net);
         }
         ExecStats {
             now: self.queue.now(),

@@ -170,20 +170,50 @@ enum RecSend<M> {
     },
 }
 
-/// One dispatched event: when, which queue position it came from, and the
-/// sends its handler buffered (in handler order).
-struct Record<M> {
+/// One dispatched event: when, which queue position it came from, and
+/// where its handler's sends live in the lane's flat send arena
+/// (`sends_start..sends_start + sends_len`, in handler order). Keeping
+/// records POD and the sends in one per-lane arena means a window costs
+/// two buffer reuses instead of one `Vec` per event.
+struct Record {
     time: Time,
     origin: Origin,
-    sends: Vec<RecSend<M>>,
+    sends_start: u32,
+    sends_len: u32,
 }
 
-/// A lane's results for one window.
+/// A lane's results for one window: its dispatch records plus the flat
+/// send arena they index. Both vectors are recycled through the
+/// coordinator ([`LaneCmd`]) so windows cost no per-event allocations
+/// (remaining window costs are O(lanes) bookkeeping).
 struct LaneOut<M> {
     lane: usize,
-    records: Vec<Record<M>>,
+    records: Vec<Record>,
+    sends: Vec<RecSend<M>>,
     /// Earliest event left in the lane queue after the window.
     next: Option<Time>,
+}
+
+impl<M> LaneOut<M> {
+    fn empty(lane: usize, next: Option<Time>) -> Self {
+        Self {
+            lane,
+            records: Vec::new(),
+            sends: Vec::new(),
+            next,
+        }
+    }
+}
+
+/// One lane's work order within a window command: events to deliver into
+/// its queue first, plus the recycled (empty, capacity-bearing) record and
+/// send buffers the previous window used — the arena reuse that removes
+/// all per-event allocation from the replay path.
+struct LaneCmd<M> {
+    lane: usize,
+    deliveries: Vec<QueuedEv<M>>,
+    records: Vec<Record>,
+    sends: Vec<RecSend<M>>,
 }
 
 /// Coordinator-to-worker commands.
@@ -203,7 +233,7 @@ enum Cmd<M> {
         /// protocol, caught worker-side before its records eat the host's
         /// memory.
         budget: u64,
-        lanes: Vec<(usize, Vec<QueuedEv<M>>)>,
+        lanes: Vec<LaneCmd<M>>,
     },
     /// Return lane queues and exit.
     Stop,
@@ -214,6 +244,32 @@ enum WorkerMsg<M> {
     /// All of this worker's active lanes for the window, in one message.
     Out(Vec<LaneOut<M>>),
     Lanes(Vec<(usize, BinaryHeap<QueuedEv<M>>)>),
+}
+
+/// The one lane-enqueue definition (used by `post`/`absorb` alike): clamps
+/// to the current clock, assigns the next global insertion order, queues
+/// into the destination machine's lane.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_lane<M>(
+    lanes: &mut [BinaryHeap<QueuedEv<M>>],
+    seq: &mut u64,
+    now: Time,
+    time: Time,
+    slot: usize,
+    machine: usize,
+    gen: u32,
+    msg: M,
+) {
+    debug_assert!(time >= now, "event scheduled in the past");
+    let s = *seq;
+    *seq += 1;
+    lanes[machine].push(QueuedEv {
+        time: time.max(now),
+        seq: s,
+        slot,
+        gen,
+        msg,
+    });
 }
 
 /// A slot-tagged actor reference, as lanes hold them.
@@ -377,46 +433,30 @@ impl<T: Topology, M> ParallelExecutor<T, M> {
         self.windows
     }
 
-    /// Inherent absorb (no `Sync`/`Send` bounds needed): times `Net` sends
-    /// on the network, delivers `At` sends verbatim, stamps the context
-    /// generation — identical semantics to the sequential backend.
+    /// Inherent absorb (no `Sync`/`Send` bounds needed): delegates to the
+    /// shared [`crate::executor::absorb_sends_into`] contract, queueing
+    /// into the per-machine lanes with the global insertion-order counter.
     fn absorb_sends<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N) {
-        let gen = ctx.gen;
-        for s in ctx.take() {
-            match s {
-                crate::Send::Net {
-                    from,
-                    to,
-                    bytes,
-                    msg,
-                } => {
-                    let machine = self.topology.machine(to);
-                    let arrival = net.send(ctx.now, from, machine, bytes);
-                    let slot = self.topology.slot(to);
-                    self.push(arrival, slot, machine, gen, msg);
-                }
-                crate::Send::At { at, to, msg } => {
-                    let slot = self.topology.slot(to);
-                    let machine = self.topology.machine(to);
-                    self.push(at, slot, machine, gen, msg);
-                }
-            }
-        }
+        let lanes = &mut self.lanes;
+        let seq = &mut self.seq;
+        let now = self.now;
+        crate::executor::absorb_sends_into(ctx, &self.topology, net, |time, slot, machine, gen, msg| {
+            enqueue_lane(lanes, seq, now, time, slot, machine, gen, msg);
+        });
     }
 
     /// Queues an event with the next global insertion order.
     fn push(&mut self, time: Time, slot: usize, machine: usize, gen: u32, msg: M) {
-        debug_assert!(time >= self.now, "event scheduled in the past");
-        let time = time.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.lanes[machine].push(QueuedEv {
+        enqueue_lane(
+            &mut self.lanes,
+            &mut self.seq,
+            self.now,
             time,
-            seq,
             slot,
+            machine,
             gen,
             msg,
-        });
+        );
     }
 
     /// Sequential drain of the lanes, used when the network offers no
@@ -428,6 +468,8 @@ impl<T: Topology, M> ParallelExecutor<T, M> {
         net: &mut N,
         until: Time,
     ) {
+        // Reused across events (see `SequentialExecutor::run`).
+        let mut ctx = Ctx::new(self.now, 0);
         loop {
             let mut best: Option<(Time, u64, usize)> = None;
             for (l, q) in self.lanes.iter().enumerate() {
@@ -448,14 +490,10 @@ impl<T: Topology, M> ParallelExecutor<T, M> {
                 self.delivered < self.max_events,
                 "event budget exceeded; protocol likely wedged"
             );
-            let actor = &mut *actors[ev.slot];
-            let gen = actor.generation();
-            if ev.gen < gen {
-                continue; // Stale pre-recovery message.
+            if crate::executor::dispatch(&mut *actors[ev.slot], &mut ctx, ev.time, ev.gen, ev.msg)
+            {
+                self.absorb_sends(&mut ctx, net);
             }
-            let mut ctx = Ctx::new(ev.time, gen.max(ev.gen));
-            actor.handle(&mut ctx, ev.msg);
-            self.absorb_sends(&mut ctx, net);
         }
     }
 }
@@ -549,6 +587,12 @@ where
 
         std::thread::scope(|s| {
             let _coordinator_guard = PanicFlag(&coordinator_died);
+            // Per-lane record/send arenas and replay scratch, recycled
+            // through the command round-trip: replay costs no per-event
+            // allocations (only O(lanes) bookkeeping per window).
+            let mut spare_records: Vec<Vec<Record>> = (0..nlanes).map(|_| Vec::new()).collect();
+            let mut spare_sends: Vec<Vec<RecSend<M>>> = (0..nlanes).map(|_| Vec::new()).collect();
+            let mut scratch = ReplayScratch::default();
             let mut bundles: Vec<Vec<WorkerLane<'_, T::Addr, M>>> =
                 (0..workers).map(|_| Vec::new()).collect();
             for (id, (queue, acts)) in lanes.drain(..).zip(lane_actors.drain(..)).enumerate() {
@@ -631,13 +675,18 @@ where
                 // A lane participates if it has an event inside the window.
                 // Its whole inbox is delivered on activation (later
                 // arrivals just sit in its queue).
-                let mut per_worker: Vec<Vec<(usize, Vec<QueuedEv<M>>)>> =
+                let mut per_worker: Vec<Vec<LaneCmd<M>>> =
                     (0..workers).map(|_| Vec::new()).collect();
                 let mut active: Vec<bool> = vec![false; nlanes];
                 for l in 0..nlanes {
                     if next_of(l, &heads, &inboxes).is_some_and(|n| n < end) {
                         active[l] = true;
-                        per_worker[lane_worker[l]].push((l, std::mem::take(&mut inboxes[l])));
+                        per_worker[lane_worker[l]].push(LaneCmd {
+                            lane: l,
+                            deliveries: std::mem::take(&mut inboxes[l]),
+                            records: std::mem::take(&mut spare_records[l]),
+                            sends: std::mem::take(&mut spare_sends[l]),
+                        });
                     }
                 }
                 debug_assert!(solo.is_none() || active.iter().filter(|a| **a).count() == 1);
@@ -657,11 +706,7 @@ where
                 // Collect one reply per commanded worker; the spin aborts
                 // (and panics here) if a worker died.
                 let mut outs: Vec<LaneOut<M>> = (0..nlanes)
-                    .map(|l| LaneOut {
-                        lane: l,
-                        records: Vec::new(),
-                        next: heads[l],
-                    })
+                    .map(|l| LaneOut::empty(l, heads[l]))
                     .collect();
                 for w in commanded {
                     match wait_out(&slots[w], spin, &worker_died) {
@@ -688,7 +733,17 @@ where
                     &mut now,
                     &mut delivered,
                     &mut inboxes,
+                    &mut scratch,
                 );
+
+                // Reclaim the (now drained) arenas for the next window.
+                for (l, o) in outs.iter_mut().enumerate() {
+                    if active[l] {
+                        o.records.clear();
+                        spare_records[l] = std::mem::take(&mut o.records);
+                        spare_sends[l] = std::mem::take(&mut o.sends);
+                    }
+                }
             }
 
             for slot in &slots {
@@ -736,11 +791,27 @@ where
     }
 }
 
+/// Coordinator-side replay scratch (cursors and assigned insertion
+/// orders), reused across windows.
+#[derive(Default)]
+struct ReplayScratch {
+    cursor: Vec<usize>,
+    /// Insertion orders assigned to each lane's sends during replay, flat
+    /// over the send arena: the orders of record `r`'s sends live at
+    /// `assigned[lane][r.sends_start..r.sends_start + r.sends_len]`.
+    assigned: Vec<Vec<u64>>,
+}
+
 /// Merges one window's per-lane dispatch records back into the global
 /// `(time, insertion-order)` sequence and absorbs their sends in exactly
 /// the order the sequential backend would have: assigning insertion orders
 /// from the global counter, issuing every network call against the real
 /// network, and delivering out-of-window arrivals into lane inboxes.
+///
+/// Consumes each lane's send arena front to back (records replay in lane
+/// order, and a record's sends are contiguous), leaving the arena empty
+/// with its capacity intact for the caller to recycle.
+#[allow(clippy::too_many_arguments)]
 fn replay<M, N: Network + ?Sized>(
     outs: &mut [LaneOut<M>],
     net: &mut N,
@@ -749,19 +820,35 @@ fn replay<M, N: Network + ?Sized>(
     now: &mut Time,
     delivered: &mut u64,
     inboxes: &mut [Vec<QueuedEv<M>>],
+    scratch: &mut ReplayScratch,
 ) {
     let nlanes = outs.len();
-    let mut cursor = vec![0usize; nlanes];
-    // Insertion orders assigned to each record's sends, for resolving the
-    // order of spawned events when they reach the front of their lane.
-    let mut assigned: Vec<Vec<Vec<u64>>> = outs
-        .iter()
-        .map(|o| vec![Vec::new(); o.records.len()])
+    scratch.cursor.clear();
+    scratch.cursor.resize(nlanes, 0);
+    scratch.assigned.resize_with(nlanes, Vec::new);
+    for (a, o) in scratch.assigned.iter_mut().zip(outs.iter()) {
+        a.clear();
+        // MAX sentinel: a Spawned record's parent lookup before the parent
+        // replayed would silently return a plausible insertion order if
+        // this were 0 — the debug_assert below keeps the parent-first
+        // invariant loud.
+        a.resize(o.sends.len(), u64::MAX);
+    }
+    let cursor = &mut scratch.cursor;
+    let assigned = &mut scratch.assigned;
+    // Split each lane into its (shared) records and a consuming iterator
+    // over its send arena.
+    let mut parts: Vec<(&[Record], std::vec::Drain<'_, RecSend<M>>)> = outs
+        .iter_mut()
+        .map(|o| {
+            let LaneOut { records, sends, .. } = o;
+            (records.as_slice(), sends.drain(..))
+        })
         .collect();
     loop {
         let mut best: Option<(Time, u64, usize)> = None;
         for l in 0..nlanes {
-            let recs = &outs[l].records;
+            let recs = parts[l].0;
             if cursor[l] < recs.len() {
                 let r = &recs[cursor[l]];
                 let s = match r.origin {
@@ -769,7 +856,10 @@ fn replay<M, N: Network + ?Sized>(
                     // The spawning record is earlier in this lane, so its
                     // sends already have insertion orders.
                     Origin::Spawned { parent, idx } => {
-                        assigned[l][parent as usize][idx as usize]
+                        let p = &recs[parent as usize];
+                        let s = assigned[l][p.sends_start as usize + idx as usize];
+                        debug_assert_ne!(s, u64::MAX, "spawned event replayed before its parent");
+                        s
                     }
                 };
                 if best.is_none_or(|(bt, bs, _)| (r.time, s) < (bt, bs)) {
@@ -782,12 +872,14 @@ fn replay<M, N: Network + ?Sized>(
         cursor[l] += 1;
         *now = t;
         *delivered += 1;
-        let sends = std::mem::take(&mut outs[l].records[ri].sends);
-        let mut seqs = Vec::with_capacity(sends.len());
-        for send in sends {
+        let (recs, drain) = &mut parts[l];
+        let start = recs[ri].sends_start as usize;
+        let len = recs[ri].sends_len as usize;
+        for i in 0..len {
+            let send = drain.next().expect("send arena in record order");
             let sq = *seq;
             *seq += 1;
-            seqs.push(sq);
+            assigned[l][start + i] = sq;
             match send {
                 RecSend::LocalNet {
                     from,
@@ -850,7 +942,6 @@ fn replay<M, N: Network + ?Sized>(
                 }
             }
         }
-        assigned[l][ri] = seqs;
     }
 }
 
@@ -877,15 +968,17 @@ fn worker_loop<T, M>(
                 lanes: work,
             } => {
                 let mut outs = Vec::with_capacity(work.len());
-                for (id, deliveries) in work {
+                for cmd in work {
                     let lane = lanes
                         .iter_mut()
-                        .find(|l| l.id == id)
+                        .find(|l| l.id == cmd.lane)
                         .expect("lane owned by this worker");
-                    for ev in deliveries {
+                    for ev in cmd.deliveries {
                         lane.queue.push(ev);
                     }
-                    outs.push(process_window(lane, end, solo, topo, local_lat, budget));
+                    outs.push(process_window(
+                        lane, end, solo, topo, local_lat, budget, cmd.records, cmd.sends,
+                    ));
                 }
                 slot.out.put(WorkerMsg::Out(outs));
             }
@@ -914,6 +1007,7 @@ fn worker_loop<T, M>(
 /// lane is idle) holds O(flush) rather than O(remaining-run) memory.
 const SOLO_FLUSH_RECORDS: usize = 1 << 16;
 
+#[allow(clippy::too_many_arguments)]
 fn process_window<T, M>(
     lane: &mut WorkerLane<'_, T::Addr, M>,
     end: Time,
@@ -921,11 +1015,15 @@ fn process_window<T, M>(
     topo: &T,
     local_lat: &[Time],
     budget: u64,
+    mut records: Vec<Record>,
+    mut sends: Vec<RecSend<M>>,
 ) -> LaneOut<M>
 where
     T: Topology,
 {
-    let mut records: Vec<Record<M>> = Vec::new();
+    debug_assert!(records.is_empty() && sends.is_empty());
+    // Reused across the window's events (capacity retained).
+    let mut ctx = Ctx::new(0, 0);
     let mut cap: Time = Time::MAX;
     let mut count_capped = false;
     loop {
@@ -971,29 +1069,26 @@ where
             "event budget exceeded; protocol likely wedged"
         );
         let rec_idx = records.len() as u32;
+        let sends_start = sends.len() as u32;
         let actor = &mut *lane
             .actors
             .iter_mut()
             .find(|(s, _)| *s == slot)
             .expect("slot hosted on this lane")
             .1;
-        let agen = actor.generation();
-        if env_gen < agen {
+        if !crate::executor::dispatch(actor, &mut ctx, time, env_gen, msg) {
             // Stale pre-recovery message: counts as a dispatch, sends
             // nothing.
             records.push(Record {
                 time,
                 origin,
-                sends: Vec::new(),
+                sends_start,
+                sends_len: 0,
             });
             continue;
         }
-        let mut ctx = Ctx::new(time, agen.max(env_gen));
-        actor.handle(&mut ctx, msg);
         let gen_out = ctx.gen;
-        let buffered = ctx.take();
-        let mut sends = Vec::with_capacity(buffered.len());
-        for (i, s) in buffered.into_iter().enumerate() {
+        for (i, s) in ctx.drain_sends().enumerate() {
             match s {
                 crate::Send::Net {
                     from,
@@ -1085,7 +1180,8 @@ where
         records.push(Record {
             time,
             origin,
-            sends,
+            sends_start,
+            sends_len: sends.len() as u32 - sends_start,
         });
     }
     // A solo cap may strand overlay events scheduled at or past it; hand
@@ -1096,7 +1192,8 @@ where
             count_capped || e.time >= cap,
             "overlay below the cap must have been consumed"
         );
-        let send = &mut records[e.parent as usize].sends[e.idx as usize];
+        let send =
+            &mut sends[records[e.parent as usize].sends_start as usize + e.idx as usize];
         *send = match send {
             RecSend::LocalNet { from, bytes, .. } => RecSend::Net {
                 from: *from,
@@ -1119,6 +1216,7 @@ where
     LaneOut {
         lane: lane.id,
         records,
+        sends,
         next: lane.queue.peek().map(|e| e.time),
     }
 }

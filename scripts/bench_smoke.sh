@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Bench smoke: run the Figure 7 harness on both execution backends, verify
 # the figure output is byte-identical (the simulation is backend-invariant),
-# and record wall-clock timings to BENCH_pr2.json to seed the repo's perf
-# trajectory.
+# and record wall-clock timings plus the hot-path throughput metric
+# (edge+update records streamed per wall-second) to BENCH_pr3.json.
+#
+# When a BENCH_pr2.json baseline is present (repo root), the run fails if
+# sequential wall time regressed more than 10% against it — the perf gate
+# for the batched-kernel / allocation-free hot paths.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT_JSON="${1:-BENCH_pr2.json}"
+OUT_JSON="${1:-BENCH_pr3.json}"
 EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
 PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr2.json}"
 
 cargo build --release -p chaos-bench --bin figures
 
@@ -48,6 +53,11 @@ SEQ_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
 PAR_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
 SPEEDUP=$(python3 -c "print(f'{($t1 - $t0) / ($t2 - $t1):.3f}')")
 NCPU=$(nproc 2>/dev/null || echo 0)
+# The fig7 harness prints the records-streamed total (a simulated,
+# backend-invariant quantity); throughput = records per seq wall-second.
+RECORDS=$(sed -n 's/^records streamed: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
+RECORDS=${RECORDS:-0}
+THROUGHPUT=$(python3 -c "print(f'{$RECORDS / ($t1 - $t0):.0f}')")
 
 cat >"$OUT_JSON" <<EOF
 {
@@ -58,6 +68,8 @@ cat >"$OUT_JSON" <<EOF
     "$PAR_BACKEND": { "wall_seconds": $PAR_S }
   },
   "seq_over_par_speedup": $SPEEDUP,
+  "records_streamed": $RECORDS,
+  "records_per_wall_second_seq": $THROUGHPUT,
   "identical_output": true,
   "host_cpus": $NCPU,
   "recorded_utc": "$(date -u +%FT%TZ)"
@@ -65,3 +77,32 @@ cat >"$OUT_JSON" <<EOF
 EOF
 echo "timings written to $OUT_JSON:"
 cat "$OUT_JSON"
+
+# Perf gate: sequential wall time may not regress >10% vs the recorded
+# baseline. Wall-clock baselines only mean something on the host class
+# that recorded them, so the gate is skipped (with a notice) when the
+# baseline's host_cpus disagrees with this machine, when no baseline is
+# present, or when it predates the metric.
+if [ -f "$BASELINE" ]; then
+    python3 - "$BASELINE" "$SEQ_S" "$NCPU" <<'PY'
+import json, sys
+baseline_path, seq_s, ncpu = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+old = base.get("backends", {}).get("seq", {}).get("wall_seconds")
+if old is None:
+    print(f"no seq baseline in {baseline_path}; skipping perf gate")
+    sys.exit(0)
+base_cpus = base.get("host_cpus")
+if base_cpus != ncpu:
+    print(
+        f"baseline {baseline_path} was recorded on a {base_cpus}-cpu host, "
+        f"this one has {ncpu}; skipping cross-host perf gate"
+    )
+    sys.exit(0)
+limit = old * 1.10
+status = "OK" if seq_s <= limit else "FAIL"
+print(f"{status}: seq wall {seq_s:.2f}s vs baseline {old:.2f}s (limit {limit:.2f}s)")
+sys.exit(0 if seq_s <= limit else 1)
+PY
+fi

@@ -64,6 +64,9 @@ pub mod prelude {
     pub use chaos_core::{
         run_chaos, Backend, ChaosConfig, Cluster, FailureSpec, Placement, RunReport,
     };
-    pub use chaos_gas::{run_sequential, Control, Direction, GasProgram, IterationAggregates};
+    pub use chaos_gas::{
+        run_sequential, Control, Direction, GasProgram, IterationAggregates, PerRecordKernels,
+        UpdateSink,
+    };
     pub use chaos_graph::{Edge, InputGraph, RmatConfig, WebGraphConfig};
 }

@@ -1,0 +1,88 @@
+//! Batched-kernel ≡ per-record equivalence: running any workload with a
+//! program's specialized `scatter_chunk`/`gather_chunk` kernels must be
+//! bit-identical to running it through the default per-edge/per-update
+//! loops (`PerRecordKernels<P>` pins the defaults while delegating every
+//! scalar method).
+//!
+//! This is the contract that lets hot programs ship branch-light batched
+//! bodies without owning any semantics: the per-record methods remain the
+//! specification, the chunk kernels a pure optimization. Everything is
+//! compared — final vertex states, simulated completion time, event
+//! counts, device/fabric statistics and the records-streamed counter.
+
+mod common;
+
+use chaos::prelude::*;
+use common::{test_config, undirected_graph, weighted_graph};
+use proptest::prelude::*;
+
+/// Runs `program` specialized and per-record under the same config and
+/// asserts bit-identical reports and states.
+fn assert_kernels_equivalent<P: GasProgram>(cfg: ChaosConfig, program: P, g: &InputGraph)
+where
+    P::VertexState: PartialEq + std::fmt::Debug,
+{
+    let (rep_fast, states_fast) = run_chaos(cfg.clone(), program.clone(), g);
+    let (rep_ref, states_ref) = run_chaos(cfg, PerRecordKernels(program), g);
+    assert_eq!(states_fast, states_ref, "final vertex states must match");
+    assert_eq!(
+        rep_fast, rep_ref,
+        "whole run report must be bit-identical across kernel paths"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_runs_are_kernel_invariant(
+        machines in 1usize..5,
+        pick in 0usize..5,
+        scale in 6u32..8,
+        chunk_kb in 4u64..17,
+        window in 2usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut cfg = test_config(machines);
+        cfg.chunk_bytes = chunk_kb * 1024;
+        cfg.batch_window = window;
+        cfg.seed = seed;
+        let g_dir = RmatConfig::paper(scale).generate();
+        let g_und = undirected_graph(scale);
+        match pick {
+            0 => assert_kernels_equivalent(cfg, Pagerank::new(3), &g_dir),
+            1 => assert_kernels_equivalent(cfg, Wcc::new(), &g_und),
+            2 => assert_kernels_equivalent(cfg, Bfs::new(0), &g_und),
+            3 => assert_kernels_equivalent(cfg, Spmv::new(2), &g_dir),
+            _ => assert_kernels_equivalent(cfg, Sssp::new(0), &weighted_graph(400, 600, seed)),
+        }
+    }
+}
+
+#[test]
+fn mcst_phase_switching_is_kernel_invariant() {
+    // MCST exercises all four sub-phases (and with them every branch of
+    // its specialized kernels) across many iterations.
+    let g = weighted_graph(300, 450, 11);
+    assert_kernels_equivalent(test_config(3), Mcst::new(), &g);
+}
+
+#[test]
+fn stealing_is_kernel_invariant() {
+    // Aggressive stealing makes stolen partitions stream through the
+    // batched kernels on non-master machines.
+    let mut cfg = test_config(3);
+    cfg.steal_alpha = f64::INFINITY;
+    assert_kernels_equivalent(cfg, Sssp::new(0), &weighted_graph(500, 800, 42));
+}
+
+#[test]
+fn sequential_oracle_is_kernel_invariant() {
+    // The in-memory reference executor routes through the same kernel API;
+    // pin it too.
+    let g = undirected_graph(7);
+    let fast = run_sequential(Wcc::new(), &g, 10_000);
+    let slow = run_sequential(PerRecordKernels(Wcc::new()), &g, 10_000);
+    assert_eq!(fast.states, slow.states);
+    assert_eq!(fast.iterations, slow.iterations);
+}
