@@ -1,6 +1,6 @@
 //! Breadth-First Search: level-synchronous frontier expansion.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
+use chaos_gas::{ActivityModel, Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 
 /// Level of vertices not (yet) reached.
@@ -44,6 +44,14 @@ impl GasProgram for Bfs {
 
     fn scatter(&self, _v: VertexId, state: &u32, _edge: &Edge, iter: u32) -> Option<()> {
         (*state == iter).then_some(())
+    }
+
+    fn activity(&self) -> ActivityModel {
+        ActivityModel::Frontier
+    }
+
+    fn is_active(&self, _v: VertexId, state: &u32, iter: u32) -> bool {
+        *state == iter
     }
 
     fn gather(&self, acc: &mut bool, _dst: VertexId, _dst_state: &u32, _payload: &()) {

@@ -4,7 +4,7 @@
 //! derived from its current belief over its out-edges; receivers combine
 //! incoming messages with their prior in log space.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::reference::{bp_prior, message_from_belief};
 use chaos_graph::{Edge, VertexId};
 
@@ -78,6 +78,34 @@ impl GasProgram for BeliefPropagation {
 
     fn aggregate(&self, state: &f64) -> [f64; 4] {
         [*state, 0.0, 0.0, 0.0]
+    }
+
+    fn scatter_chunk<S: UpdateSink<f64>>(
+        &self,
+        base: VertexId,
+        states: &[f64],
+        edges: &[Edge],
+        _iter: u32,
+        out: &mut S,
+    ) {
+        // Unconditional flood: one message per edge, no branches.
+        for e in edges {
+            out.push(e.dst, message_from_belief(states[(e.src - base) as usize]));
+        }
+    }
+
+    fn gather_chunk(
+        &self,
+        base: VertexId,
+        _states: &[f64],
+        accums: &mut [LogLikelihoods],
+        updates: &[Update<f64>],
+    ) {
+        for u in updates {
+            let a = &mut accums[(u.dst - base) as usize];
+            a.log1 += u.payload.ln();
+            a.log0 += (1.0 - u.payload).ln();
+        }
     }
 
     fn end_iteration(&mut self, iter: u32, _agg: &IterationAggregates) -> Control {

@@ -24,7 +24,7 @@
 //! Edge weights must be distinct (the standard Borůvka assumption; the
 //! generators in `chaos-graph` guarantee it).
 
-use chaos_gas::{Control, GasProgram, IterationAggregates, Record, Update, UpdateSink};
+use chaos_gas::{ActivityModel, Control, GasProgram, IterationAggregates, Record, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 
 /// Candidate weight meaning "no outgoing edge".
@@ -45,10 +45,23 @@ pub struct McstState {
     pub count_w: f32,
     /// Whether this vertex already counted its component's chosen edge.
     pub counted: bool,
+    /// The vertex's component is *finished*: after the Reduce fixpoint it
+    /// had no outgoing cross-component edge, so it can never merge again,
+    /// this vertex can never change again, and (because every edge
+    /// incident to a finished component is internal to it) every edge at
+    /// this vertex is permanently dead. Set at Commit, monotone.
+    pub done: bool,
+    /// Whether the last apply changed this vertex's broadcast-relevant
+    /// value (candidate during Reduce, label during Contract). Drives the
+    /// delta gating: within a fixpoint sub-phase, a vertex whose value did
+    /// not change has nothing new to say — every neighbor already folded
+    /// its value when it was acquired (min-propagation is monotone and
+    /// idempotent), so only the wavefront rebroadcasts.
+    pub fresh: bool,
 }
 
 impl Record for McstState {
-    const ENCODED_BYTES: usize = 33;
+    const ENCODED_BYTES: usize = 35;
     fn encode(&self, out: &mut Vec<u8>) {
         self.comp.encode(out);
         self.label.encode(out);
@@ -56,6 +69,8 @@ impl Record for McstState {
         self.cand_target.encode(out);
         self.count_w.encode(out);
         self.counted.encode(out);
+        self.done.encode(out);
+        self.fresh.encode(out);
     }
     fn decode(buf: &[u8]) -> Self {
         Self {
@@ -65,6 +80,8 @@ impl Record for McstState {
             cand_target: u64::decode(&buf[20..]),
             count_w: f32::decode(&buf[28..]),
             counted: bool::decode(&buf[32..]),
+            done: bool::decode(&buf[33..]),
+            fresh: bool::decode(&buf[34..]),
         }
     }
 }
@@ -142,6 +159,13 @@ enum Phase {
 #[derive(Debug, Clone)]
 pub struct Mcst {
     phase: Phase,
+    /// Iteration at which the current sub-phase began. The first
+    /// iteration of a fixpoint sub-phase broadcasts from every eligible
+    /// vertex (seeding propagation and the chosen-edge counting);
+    /// subsequent iterations broadcast only from the `fresh` wavefront.
+    /// Maintained in `end_iteration`, which every machine replays with
+    /// identical global aggregates, so the value is cluster-consistent.
+    phase_start: u32,
 }
 
 impl Mcst {
@@ -149,6 +173,7 @@ impl Mcst {
     pub fn new() -> Self {
         Self {
             phase: Phase::MinEdge,
+            phase_start: 0,
         }
     }
 
@@ -185,6 +210,8 @@ impl GasProgram for Mcst {
             cand_target: v,
             count_w: 0.0,
             counted: false,
+            done: false,
+            fresh: false,
         }
     }
 
@@ -193,10 +220,14 @@ impl GasProgram for Mcst {
         _v: VertexId,
         state: &McstState,
         edge: &Edge,
-        _iter: u32,
+        iter: u32,
     ) -> Option<McstMsg> {
-        if edge.src == edge.dst {
-            return None; // Self-loops are never spanning-tree edges.
+        if edge.src == edge.dst || state.done {
+            // Self-loops are never spanning-tree edges; finished
+            // components have nothing left to say (their messages were
+            // no-ops: filtered by MinEdge's cross-component test, and
+            // label-min'ed against an identical label in Contract).
+            return None;
         }
         let msg = McstMsg {
             comp: state.comp,
@@ -205,9 +236,18 @@ impl GasProgram for Mcst {
             cand_target: state.cand_target,
             edge_w: edge.weight,
         };
+        // Within a fixpoint sub-phase, only the first iteration floods
+        // from everyone; afterwards the wavefront (`fresh`) suffices:
+        // every non-fresh vertex's value was already delivered and folded
+        // (the gathers are idempotent min-folds), so the per-iteration
+        // state sequence is identical to full flooding.
+        let start = iter == self.phase_start;
         match self.phase {
-            Phase::MinEdge | Phase::Contract => Some(msg),
-            Phase::Reduce => (state.cand_w < NO_EDGE).then_some(msg),
+            Phase::MinEdge => Some(msg),
+            Phase::Contract => (start || state.fresh).then_some(msg),
+            Phase::Reduce => {
+                (state.cand_w < NO_EDGE && (start || state.fresh)).then_some(msg)
+            }
             Phase::Commit => None,
         }
     }
@@ -276,7 +316,7 @@ impl GasProgram for Mcst {
     ) -> bool {
         // A count contribution lives for exactly one aggregation.
         state.count_w = 0.0;
-        match self.phase {
+        let changed = match self.phase {
             Phase::MinEdge => {
                 state.counted = false;
                 if acc.best.0 < NO_EDGE {
@@ -314,12 +354,60 @@ impl GasProgram for Mcst {
                 }
             }
             Phase::Commit => {
+                // `cand_w` still holds the Reduce-fixpoint value (Contract
+                // never touches it): `NO_EDGE` here means the component had
+                // no outgoing edge, will never merge again, and is done.
+                state.done = state.cand_w == NO_EDGE;
                 state.comp = state.label;
                 state.cand_w = NO_EDGE;
                 state.cand_target = state.comp;
                 false
             }
+        };
+        state.fresh = changed;
+        changed
+    }
+
+    fn activity(&self) -> ActivityModel {
+        ActivityModel::Shrinking
+    }
+
+    fn is_active(&self, _v: VertexId, state: &McstState, iter: u32) -> bool {
+        let start = iter == self.phase_start;
+        match self.phase {
+            // Commit is pure apply: nobody scatters, every chunk skips.
+            Phase::Commit => false,
+            // Fixpoint sub-phases: full flood at phase start, wavefront
+            // afterwards (mirrors the `scatter` gating exactly).
+            Phase::Reduce => {
+                !state.done && state.cand_w < NO_EDGE && (start || state.fresh)
+            }
+            Phase::Contract => !state.done && (start || state.fresh),
+            Phase::MinEdge => !state.done,
         }
+    }
+
+    fn edge_dead(&self, _v: VertexId, state: &McstState, edge: &Edge, _iter: u32) -> bool {
+        // A finished component's edges are all internal to it (an edge
+        // leaving it would be an outgoing cross edge, contradicting
+        // "finished") and can never carry a useful message again.
+        state.done || edge.src == edge.dst
+    }
+
+    fn shrinks_now(&self, _iter: u32) -> bool {
+        // `done` is monotone and valid from the moment it is set, so the
+        // dead scan is meaningful in every phase.
+        true
+    }
+
+    fn dead_edges(&self, base: VertexId, states: &[McstState], edges: &[Edge], _iter: u32) -> u64 {
+        let mut dead = 0;
+        for e in edges {
+            if states[(e.src - base) as usize].done || e.src == e.dst {
+                dead += 1;
+            }
+        }
+        dead
     }
 
     fn aggregate(&self, state: &McstState) -> [f64; 4] {
@@ -336,12 +424,13 @@ impl GasProgram for Mcst {
         base: VertexId,
         states: &[McstState],
         edges: &[Edge],
-        _iter: u32,
+        iter: u32,
         out: &mut S,
     ) {
-        // The phase test is hoisted out of the per-edge loop; MCST streams
-        // the full edge set ~4x per Borůvka round, which makes this the
-        // hottest kernel in the benchmark suite.
+        // The phase test (and the phase-start test of the delta gating) is
+        // hoisted out of the per-edge loop; MCST streams the full edge set
+        // several times per Borůvka round, which makes this the hottest
+        // kernel in the benchmark suite.
         let msg_of = |s: &McstState, e: &Edge| McstMsg {
             comp: s.comp,
             label: s.label,
@@ -349,18 +438,32 @@ impl GasProgram for Mcst {
             cand_target: s.cand_target,
             edge_w: e.weight,
         };
+        let start = iter == self.phase_start;
         match self.phase {
-            Phase::MinEdge | Phase::Contract => {
+            Phase::MinEdge => {
                 for e in edges {
-                    if e.src != e.dst {
-                        out.push(e.dst, msg_of(&states[(e.src - base) as usize], e));
+                    let s = &states[(e.src - base) as usize];
+                    if e.src != e.dst && !s.done {
+                        out.push(e.dst, msg_of(s, e));
+                    }
+                }
+            }
+            Phase::Contract => {
+                for e in edges {
+                    let s = &states[(e.src - base) as usize];
+                    if e.src != e.dst && !s.done && (start || s.fresh) {
+                        out.push(e.dst, msg_of(s, e));
                     }
                 }
             }
             Phase::Reduce => {
                 for e in edges {
                     let s = &states[(e.src - base) as usize];
-                    if e.src != e.dst && s.cand_w < NO_EDGE {
+                    if e.src != e.dst
+                        && !s.done
+                        && s.cand_w < NO_EDGE
+                        && (start || s.fresh)
+                    {
                         out.push(e.dst, msg_of(s, e));
                     }
                 }
@@ -423,34 +526,35 @@ impl GasProgram for Mcst {
         }
     }
 
-    fn end_iteration(&mut self, _iter: u32, agg: &IterationAggregates) -> Control {
+    fn end_iteration(&mut self, iter: u32, agg: &IterationAggregates) -> Control {
+        let before = self.phase;
         match self.phase {
             Phase::MinEdge => {
                 if agg.custom[1] as u64 == 0 {
                     // No component has an outgoing edge: the forest is done.
-                    Control::Done
-                } else {
-                    self.phase = Phase::Reduce;
-                    Control::Continue
+                    return Control::Done;
                 }
+                self.phase = Phase::Reduce;
             }
             Phase::Reduce => {
                 if agg.vertices_changed == 0 {
                     self.phase = Phase::Contract;
                 }
-                Control::Continue
             }
             Phase::Contract => {
                 if agg.vertices_changed == 0 {
                     self.phase = Phase::Commit;
                 }
-                Control::Continue
             }
             Phase::Commit => {
                 self.phase = Phase::MinEdge;
-                Control::Continue
             }
         }
+        if self.phase != before {
+            // The next iteration is the new sub-phase's flood iteration.
+            self.phase_start = iter + 1;
+        }
+        Control::Continue
     }
 }
 
@@ -533,6 +637,8 @@ mod tests {
             cand_target: 9,
             count_w: 0.25,
             counted: true,
+            done: true,
+            fresh: true,
         };
         let mut buf = Vec::new();
         s.encode(&mut buf);

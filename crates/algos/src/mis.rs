@@ -7,7 +7,7 @@
 //! priority function is shared with the oracle in
 //! `chaos_graph::reference::mis`, so results match exactly.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates};
+use chaos_gas::{ActivityModel, Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::reference::luby_priority;
 use chaos_graph::{Edge, VertexId};
 
@@ -148,6 +148,89 @@ impl GasProgram for Mis {
                     true
                 } else {
                     false
+                }
+            }
+        }
+    }
+
+    fn activity(&self) -> ActivityModel {
+        ActivityModel::Shrinking
+    }
+
+    fn is_active(&self, _v: VertexId, state: &(u32, bool), _iter: u32) -> bool {
+        match self.phase {
+            Phase::Select => state.0 == UNDECIDED,
+            Phase::Notify => state.0 == IN && state.1,
+        }
+    }
+
+    fn edge_dead(&self, _v: VertexId, state: &(u32, bool), edge: &Edge, _iter: u32) -> bool {
+        // OUT vertices never speak again; IN vertices speak exactly once
+        // (the notify right after joining, while `fresh`). Self-loops
+        // never constrain membership.
+        edge.src == edge.dst || state.0 == OUT || (state.0 == IN && !state.1)
+    }
+
+    fn shrinks_now(&self, _iter: u32) -> bool {
+        true
+    }
+
+    fn scatter_chunk<S: UpdateSink<(u64, u64)>>(
+        &self,
+        base: VertexId,
+        states: &[(u32, bool)],
+        edges: &[Edge],
+        _iter: u32,
+        out: &mut S,
+    ) {
+        // Phase test hoisted; the per-edge Luby hash stays (it is the
+        // message payload).
+        match self.phase {
+            Phase::Select => {
+                for e in edges {
+                    if e.src != e.dst && states[(e.src - base) as usize].0 == UNDECIDED {
+                        out.push(e.dst, (luby_priority(e.src, self.round, self.seed), e.src));
+                    }
+                }
+            }
+            Phase::Notify => {
+                for e in edges {
+                    let s = &states[(e.src - base) as usize];
+                    if e.src != e.dst && s.0 == IN && s.1 {
+                        out.push(e.dst, (0, e.src));
+                    }
+                }
+            }
+        }
+    }
+
+    fn gather_chunk(
+        &self,
+        base: VertexId,
+        states: &[(u32, bool)],
+        accums: &mut [MisAccum],
+        updates: &[Update<(u64, u64)>],
+    ) {
+        match self.phase {
+            Phase::Select => {
+                for u in updates {
+                    let off = (u.dst - base) as usize;
+                    if states[off].0 != UNDECIDED {
+                        continue;
+                    }
+                    let acc = &mut accums[off];
+                    let rival = Some(u.payload);
+                    if acc.min_rival.is_none() || rival < acc.min_rival {
+                        acc.min_rival = rival;
+                    }
+                }
+            }
+            Phase::Notify => {
+                for u in updates {
+                    let off = (u.dst - base) as usize;
+                    if states[off].0 == UNDECIDED {
+                        accums[off].blocked = true;
+                    }
                 }
             }
         }

@@ -1,6 +1,6 @@
 //! Single-Source Shortest Paths: Bellman-Ford style relaxation.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
+use chaos_gas::{ActivityModel, Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 
 /// Distance of unreached vertices.
@@ -54,6 +54,14 @@ impl GasProgram for Sssp {
 
     fn scatter(&self, _v: VertexId, state: &(f32, bool), edge: &Edge, _iter: u32) -> Option<f32> {
         state.1.then_some(state.0 + edge.weight)
+    }
+
+    fn activity(&self) -> ActivityModel {
+        ActivityModel::Frontier
+    }
+
+    fn is_active(&self, _v: VertexId, state: &(f32, bool), _iter: u32) -> bool {
+        state.1
     }
 
     fn gather(&self, acc: &mut MinDist, _dst: VertexId, _dst_state: &(f32, bool), payload: &f32) {

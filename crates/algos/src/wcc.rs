@@ -1,6 +1,6 @@
 //! Weakly Connected Components via min-label propagation.
 
-use chaos_gas::{Control, GasProgram, IterationAggregates, Update, UpdateSink};
+use chaos_gas::{ActivityModel, Control, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, VertexId};
 
 /// WCC: every vertex converges to the minimum vertex id in its (weakly)
@@ -37,6 +37,14 @@ impl GasProgram for Wcc {
 
     fn scatter(&self, _v: VertexId, state: &(u64, bool), _edge: &Edge, _iter: u32) -> Option<u64> {
         state.1.then_some(state.0)
+    }
+
+    fn activity(&self) -> ActivityModel {
+        ActivityModel::Frontier
+    }
+
+    fn is_active(&self, _v: VertexId, state: &(u64, bool), _iter: u32) -> bool {
+        state.1
     }
 
     fn gather(&self, acc: &mut MinLabel, _dst: VertexId, _dst_state: &(u64, bool), payload: &u64) {

@@ -1,26 +1,37 @@
 //! One-cell microprobe: runs a single (algorithm, machines, scale) cell
-//! and prints wall time, event count and record throughput — for sizing
-//! host-side optimizations without a full figure sweep.
+//! and prints wall time, event count, record throughput and the
+//! selective-streaming account — for sizing host-side optimizations
+//! without a full figure sweep.
 //!
 //! ```text
-//! cellstats PR 4 14 [seq|par:N]
+//! cellstats PR 4 14 [seq|par:N] [selective|reference|dense] [--iters]
 //! ```
+//!
+//! `--iters` adds a per-iteration table: active-vertex fraction, chunks
+//! and records skipped, and tombstone/compaction counts — the shape of a
+//! frontier collapsing or a Borůvka contraction eating the edge set.
 
 use std::time::Instant;
 
 use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
-use chaos_core::{run_chaos, Backend, ChaosConfig};
+use chaos_core::{run_chaos, Backend, ChaosConfig, Streaming};
 use chaos_graph::RmatConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let algo = args.first().map(String::as_str).unwrap_or("PR");
+    let per_iter = args.iter().any(|a| a == "--iters");
+    let args: Vec<&String> = args.iter().filter(|a| *a != "--iters").collect();
+    let algo = args.first().map(|s| s.as_str()).unwrap_or("PR");
     let machines: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let scale: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(14);
     let backend: Backend = args
         .get(3)
         .map(|s| s.parse().expect("bad backend"))
         .unwrap_or(Backend::Sequential);
+    let streaming: Streaming = args
+        .get(4)
+        .map(|s| s.parse().expect("bad streaming mode"))
+        .unwrap_or(Streaming::Selective);
 
     let cfg_rmat = if needs_weights(algo) {
         RmatConfig::paper_weighted(scale)
@@ -35,13 +46,14 @@ fn main() {
     cfg.chunk_bytes = 32 * 1024;
     cfg.mem_budget = 256 * 1024;
     cfg.backend = backend;
+    cfg.streaming = streaming;
     let t0 = Instant::now();
     let params = AlgoParams::default();
     let rep = with_algo!(algo, &params, |p| run_chaos(cfg, p, &g).0);
     let wall = t0.elapsed().as_secs_f64();
     println!(
-        "{algo} m={machines} scale={scale} backend={}: wall {:.3}s, events {}, \
-         records {}, iters {}, {:.0} events/s, {:.0} records/s",
+        "{algo} m={machines} scale={scale} backend={} streaming={streaming}: wall {:.3}s, \
+         events {}, records {}, iters {}, {:.0} events/s, {:.0} records/s",
         rep.backend,
         wall,
         rep.events,
@@ -50,4 +62,30 @@ fn main() {
         rep.events as f64 / wall,
         rep.records_streamed as f64 / wall,
     );
+    let streamed_plus_skipped = rep.records_streamed + rep.records_skipped();
+    println!(
+        "selectivity: {} chunks ({} records, {:.1}% of edge+update traffic) skipped; \
+         {} compactions dropped {} edges",
+        rep.chunks_skipped(),
+        rep.records_skipped(),
+        100.0 * rep.records_skipped() as f64 / streamed_plus_skipped.max(1) as f64,
+        rep.compactions(),
+        rep.edges_tombstoned(),
+    );
+    if per_iter {
+        println!(
+            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>12}",
+            "iter", "active%", "chunks-skp", "records-skp", "tombstoned", "compactions"
+        );
+        for (i, s) in rep.selectivity.iter().enumerate() {
+            println!(
+                "{i:>5} {:>7.1}% {:>10} {:>12} {:>12} {:>12}",
+                100.0 * s.active_fraction(),
+                s.chunks_skipped,
+                s.records_skipped,
+                s.edges_tombstoned,
+                s.compactions,
+            );
+        }
+    }
 }

@@ -12,15 +12,22 @@
 //! run. Figure output is bit-identical across backends — the simulation
 //! is backend-invariant — so the flag only changes host wall-clock
 //! behavior (see `scripts/bench_smoke.sh`, which relies on the identity).
+//!
+//! `--streaming {selective|reference|dense}` selects the scatter
+//! streaming mode. `selective` (default) and `reference` also produce
+//! bit-identical output — the reference mode is the dense-streaming
+//! oracle that additionally verifies every skipped chunk scatters to
+//! nothing; `bench_smoke.sh` byte-compares across this flag too.
 
 use std::process::ExitCode;
 
 use chaos_bench::{run_experiment, Harness, Scale, EXPERIMENTS};
-use chaos_core::Backend;
+use chaos_core::{Backend, Streaming};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend = Backend::Sequential;
+    let mut streaming = Streaming::Selective;
     // Loop so a repeated flag is fully consumed (last one wins) instead of
     // its value leaking through as an experiment id.
     while let Some(i) = args.iter().position(|a| a == "--backend") {
@@ -37,13 +44,29 @@ fn main() -> ExitCode {
         };
         args.drain(i..=i + 1);
     }
+    while let Some(i) = args.iter().position(|a| a == "--streaming") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("--streaming needs a value: selective, reference or dense");
+            return ExitCode::FAILURE;
+        };
+        streaming = match spec.parse() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.drain(i..=i + 1);
+    }
     let full = args.iter().any(|a| a == "--full");
     let ids: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    let scale = if full { Scale::full() } else { Scale::quick() }.with_backend(backend);
+    let scale = if full { Scale::full() } else { Scale::quick() }
+        .with_backend(backend)
+        .with_streaming(streaming);
 
     match ids.first().copied() {
         None | Some("list") => {

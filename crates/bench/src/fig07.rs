@@ -45,7 +45,9 @@ pub fn run(h: &Harness) {
         h.scale.machines.last().expect("non-empty sweep"),
         sum_at_max / count as f64
     );
-    // Host-throughput numerator for scripts/bench_smoke.sh: a simulated
-    // quantity, so the line is identical across execution backends.
+    // Host-throughput numerator for scripts/bench_smoke.sh: simulated
+    // quantities, so the lines are identical across execution backends and
+    // across the selective/reference streaming modes.
     println!("records streamed: {}", h.records_streamed());
+    println!("records skipped: {}", h.records_skipped());
 }

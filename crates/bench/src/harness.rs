@@ -6,7 +6,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
-use chaos_core::{run_chaos, Backend, ChaosConfig, RunReport};
+use chaos_core::{run_chaos, Backend, ChaosConfig, RunReport, Streaming};
 use chaos_graph::{InputGraph, RmatConfig, WebGraphConfig};
 
 /// Experiment sizing.
@@ -27,6 +27,11 @@ pub struct Scale {
     /// is bit-identical across backends (the simulation is backend-
     /// invariant); this only changes host wall-clock behavior.
     pub backend: Backend,
+    /// Streaming mode for every run. `Selective` and `Reference` produce
+    /// bit-identical figure output (the reference mode merely streams
+    /// skipped chunks host-side to enforce the activity contract), so
+    /// `scripts/bench_smoke.sh` byte-compares across this flag too.
+    pub streaming: Streaming,
 }
 
 impl Scale {
@@ -39,6 +44,7 @@ impl Scale {
             machines: &[1, 2, 4, 8, 16, 32],
             all_algorithms: true,
             backend: Backend::Sequential,
+            streaming: Streaming::Selective,
         }
     }
 
@@ -51,12 +57,19 @@ impl Scale {
             machines: &[1, 2, 4, 8, 16, 32],
             all_algorithms: true,
             backend: Backend::Sequential,
+            streaming: Streaming::Selective,
         }
     }
 
     /// The same sizing with a different execution backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// The same sizing with a different streaming mode.
+    pub fn with_streaming(mut self, streaming: Streaming) -> Self {
+        self.streaming = streaming;
         self
     }
 }
@@ -76,6 +89,7 @@ pub struct Harness {
     webgraphs: WebGraphCache,
     start: Instant,
     records: Cell<u64>,
+    skipped: Cell<u64>,
 }
 
 impl Harness {
@@ -88,6 +102,7 @@ impl Harness {
             webgraphs: Rc::new(RefCell::new(HashMap::new())),
             start: Instant::now(),
             records: Cell::new(0),
+            skipped: Cell::new(0),
         }
     }
 
@@ -102,6 +117,14 @@ impl Harness {
     /// it keeps figure output byte-comparable.
     pub fn records_streamed(&self) -> u64 {
         self.records.get()
+    }
+
+    /// Edge records selective streaming consumed without reading, summed
+    /// over every run so far (also a simulated, backend- and mode-
+    /// invariant quantity: the reference mode makes identical skip
+    /// decisions).
+    pub fn records_skipped(&self) -> u64 {
+        self.skipped.get()
     }
 
     /// RMAT graph at `scale`, shaped for the named algorithm (undirected
@@ -149,6 +172,7 @@ impl Harness {
         cfg.chunk_bytes = self.scale.chunk_bytes;
         cfg.mem_budget = self.scale.mem_budget;
         cfg.backend = self.scale.backend;
+        cfg.streaming = self.scale.streaming;
         cfg
     }
 
@@ -156,6 +180,7 @@ impl Harness {
     pub fn run(&self, algo: &str, cfg: ChaosConfig, graph: &InputGraph) -> RunReport {
         let rep = with_algo!(algo, &self.params, |p| run_chaos(cfg, p, graph).0);
         self.records.set(self.records.get() + rep.records_streamed);
+        self.skipped.set(self.skipped.get() + rep.records_skipped());
         rep
     }
 

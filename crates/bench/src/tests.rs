@@ -11,6 +11,7 @@ fn tiny() -> Harness {
         machines: &[1, 2, 4],
         all_algorithms: false,
         backend: chaos_core::Backend::Sequential,
+        streaming: chaos_core::Streaming::Selective,
     })
 }
 

@@ -111,6 +111,7 @@ mod tests {
             partitions: 1,
             events: 0,
             records_streamed: 0,
+            selectivity: vec![],
             backend: crate::config::Backend::Sequential,
             windows: 0,
         }

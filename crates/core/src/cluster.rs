@@ -192,6 +192,14 @@ impl<P: GasProgram> Cluster<P> {
     }
 
     fn report(&self) -> RunReport {
+        // Merge the per-machine selectivity accounts element-wise.
+        let iters = self.coordinator.history.len();
+        let mut selectivity = vec![crate::metrics::IterSelectivity::default(); iters];
+        for c in &self.computes {
+            for (into, s) in selectivity.iter_mut().zip(c.selectivity.iter()) {
+                into.absorb(s);
+            }
+        }
         RunReport {
             runtime: self.sched.now(),
             preprocess_time: self.coordinator.preprocess_end,
@@ -209,6 +217,7 @@ impl<P: GasProgram> Cluster<P> {
             partitions: self.params.spec.num_partitions,
             events: self.sched.delivered(),
             records_streamed: self.computes.iter().map(|c| c.records_processed).sum(),
+            selectivity,
             backend: self.cfg.backend,
             windows: self.windows,
         }

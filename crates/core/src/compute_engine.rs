@@ -11,14 +11,14 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::BuildHasherDefault;
 use std::sync::Arc;
 
-use chaos_gas::{Direction, GasProgram, IterationAggregates, Update, UpdateSink};
+use chaos_gas::{ActiveSet, ActivityModel, Direction, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, PartitionSpec, VertexId};
 use chaos_runtime::Actor;
 use chaos_sim::{Resource, Rng, Time};
 
-use crate::config::{ChaosConfig, Placement};
-use crate::metrics::Breakdown;
-use crate::msg::{DataKind, Msg, PhaseKind, Work, WriteKind, CONTROL_BYTES};
+use crate::config::{ChaosConfig, Placement, Streaming};
+use crate::metrics::{Breakdown, IterSelectivity};
+use crate::msg::{DataKind, Msg, PhaseKind, SkipInfo, Work, WriteKind, CONTROL_BYTES};
 use crate::runtime::{Addr, Ctx, RunParams};
 
 /// Deterministic multiply-xorshift hasher (SplitMix64 finalizer) for the
@@ -88,6 +88,11 @@ struct PartWork<P: GasProgram> {
     inflight_compute: usize,
     /// Centralized placement: the directory reported global exhaustion.
     dir_exhausted: bool,
+    /// Active scatter-source summary for this stream, built from the
+    /// loaded vertex states (scatter phases of non-dense programs only;
+    /// `None` also when every vertex is active — a full set carries no
+    /// information and would only cost wire bytes).
+    active: Option<Arc<ActiveSet>>,
 }
 
 impl<P: GasProgram> PartWork<P> {
@@ -107,6 +112,7 @@ impl<P: GasProgram> PartWork<P> {
             exhausted_count: 0,
             inflight_compute: 0,
             dir_exhausted: false,
+            active: None,
         }
     }
 
@@ -126,6 +132,7 @@ impl<P: GasProgram> PartWork<P> {
         self.exhausted_count = 0;
         self.inflight_compute = 0;
         self.dir_exhausted = false;
+        self.active = None;
     }
 
     fn stream_done(&self, machines: usize) -> bool {
@@ -157,6 +164,18 @@ impl<U> UpdateSink<U> for PartitionSink<'_, U> {
         if b.len() == self.cap {
             self.full.push(tp);
         }
+    }
+}
+
+/// Counting-only sink for the dense-streaming reference mode: skipped
+/// chunks stream into it, and any update that lands here is an activity-
+/// contract violation.
+struct CountSink(u64);
+
+impl<U> UpdateSink<U> for CountSink {
+    #[inline]
+    fn push(&mut self, _dst: VertexId, _payload: U) {
+        self.0 += 1;
     }
 }
 
@@ -303,6 +322,8 @@ pub struct ComputeEngine<P: GasProgram> {
     /// Edge + update records streamed through this engine's scatter/gather
     /// kernels (throughput accounting; backend- and kernel-invariant).
     pub records_processed: u64,
+    /// Per-iteration selective-streaming account (indexed by iteration).
+    pub selectivity: Vec<IterSelectivity>,
     done: bool,
 }
 
@@ -371,6 +392,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             breakdown: Breakdown::default(),
             steals: 0,
             records_processed: 0,
+            selectivity: Vec::new(),
             done: false,
             cfg,
         }
@@ -393,6 +415,72 @@ impl<P: GasProgram> ComputeEngine<P> {
 
     fn centralized(&self) -> bool {
         self.cfg.placement == Placement::Centralized
+    }
+
+    /// Whether activity tracking applies to this run: the program declares
+    /// a non-dense model, the streaming mode wants it, and chunk metadata
+    /// is decentralized (the Figure 15 directory strawman keeps the
+    /// paper's dense streaming — its per-engine chunk counts cannot see
+    /// multi-chunk consumption).
+    fn activity_on(&self) -> bool {
+        self.cfg.streaming != Streaming::Dense
+            && !self.centralized()
+            && self.program.activity() != ActivityModel::Dense
+    }
+
+    /// Whether shrinking-graph tombstoning/compaction applies.
+    fn shrinking_on(&self) -> bool {
+        self.cfg.streaming != Streaming::Dense
+            && !self.centralized()
+            && self.program.activity() == ActivityModel::Shrinking
+    }
+
+    /// The selectivity account of the current iteration.
+    fn sel_mut(&mut self) -> &mut IterSelectivity {
+        let i = self.iter as usize;
+        if self.selectivity.len() <= i {
+            self.selectivity.resize(i + 1, IterSelectivity::default());
+        }
+        &mut self.selectivity[i]
+    }
+
+    /// Builds the active scatter-source summary once a scatter stream's
+    /// vertex set is loaded (post any phase switch, so the bits reflect
+    /// the program's current phase). Masters additionally record the
+    /// active-vertex fraction — each partition counted once per iteration.
+    fn arm_scatter_activity(&mut self) {
+        if self.phase != PhaseKind::Scatter || !self.activity_on() {
+            return;
+        }
+        let iter = self.iter;
+        let (count, n, stolen) = {
+            let Some(w) = self.work.as_mut() else {
+                return;
+            };
+            let n = w.vertices.len();
+            if n == 0 {
+                return;
+            }
+            let base = self.params.spec.range(w.part).start;
+            let program = &self.program;
+            let vertices = &w.vertices;
+            let set = ActiveSet::from_fn(base, n, |off| {
+                program.is_active(base + off as u64, &vertices[off], iter)
+            });
+            let count = set.active_count();
+            // A full set carries no information: stream densely for free.
+            w.active = if set.all_active() {
+                None
+            } else {
+                Some(Arc::new(set))
+            };
+            (count, n as u64, w.stolen)
+        };
+        if !stolen {
+            let sel = self.sel_mut();
+            sel.active_vertices += count;
+            sel.total_vertices += n;
+        }
     }
 
     /// CPU cost in core-nanosecond units for processing `records` records.
@@ -895,6 +983,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             );
         }
         if chunks == 0 {
+            self.arm_scatter_activity();
             self.pump_reads(ctx);
             self.check_stream_done(ctx);
         }
@@ -939,16 +1028,22 @@ impl<P: GasProgram> ComputeEngine<P> {
             };
             w.requested[target] += 1;
             w.outstanding += 1;
+            // The active summary rides on every edge request (and is
+            // charged for): requests are independent, so every storage
+            // engine sees the frontier it needs for its skip decisions.
+            let active_bytes = w.active.as_ref().map_or(0, |a| a.wire_bytes());
             let msg = match kind {
                 DataKind::Edges => Msg::EdgeChunkReq {
                     part: w.part,
                     reverse: false,
                     from: me,
+                    active: w.active.clone(),
                 },
                 DataKind::EdgesReverse => Msg::EdgeChunkReq {
                     part: w.part,
                     reverse: true,
                     from: me,
+                    active: w.active.clone(),
                 },
                 DataKind::Updates => Msg::UpdateChunkReq {
                     part: w.part,
@@ -956,7 +1051,7 @@ impl<P: GasProgram> ComputeEngine<P> {
                 },
                 DataKind::Input => unreachable!("input is handled by pump_input"),
             };
-            ctx.send(me, Addr::Storage(target), msg, CONTROL_BYTES);
+            ctx.send(me, Addr::Storage(target), msg, CONTROL_BYTES + active_bytes);
         }
     }
 
@@ -987,6 +1082,7 @@ impl<P: GasProgram> ComputeEngine<P> {
         }
         if loaded_now {
             self.breakdown.copy += copy_ns;
+            self.arm_scatter_activity();
             self.pump_reads(ctx);
             self.check_stream_done(ctx);
         }
@@ -1044,7 +1140,13 @@ impl<P: GasProgram> ComputeEngine<P> {
         }
     }
 
-    fn scatter_chunk(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Edge>>) {
+    fn scatter_chunk(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        data: Arc<Vec<Edge>>,
+        origin: Option<(usize, u32)>,
+    ) {
         let base = self.params.spec.range(part).start;
         self.records_processed += data.len() as u64;
         let w = self.work.as_mut().expect("scatter work in progress");
@@ -1073,7 +1175,107 @@ impl<P: GasProgram> ComputeEngine<P> {
             self.flush_updates(ctx, tp);
         }
         self.flush_scratch.clear();
+        self.maybe_compact_chunk(ctx, &data, origin);
         self.check_stream_done(ctx);
+    }
+
+    /// Shrinking-graph support: scans the just-scattered chunk for
+    /// permanently dead edges and, once dead density crosses the
+    /// configured threshold, ships the survivors back to the source
+    /// storage engine as an in-place replacement. The serve-once-per-epoch
+    /// protocol makes this engine the chunk's unique consumer this
+    /// iteration, so exactly one replacement can target an entry per
+    /// epoch.
+    fn maybe_compact_chunk(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        data: &Arc<Vec<Edge>>,
+        origin: Option<(usize, u32)>,
+    ) {
+        let Some((source, entry)) = origin else {
+            return;
+        };
+        if data.is_empty() || !self.shrinking_on() || !self.program.shrinks_now(self.iter) {
+            return;
+        }
+        let Some(w) = self.work.as_ref() else {
+            return;
+        };
+        let base = self.params.spec.range(w.part).start;
+        let dead = self
+            .program
+            .dead_edges(base, &w.vertices, data, self.iter);
+        if dead == 0 || (dead as f64) < data.len() as f64 * self.cfg.compact_threshold {
+            return;
+        }
+        let reverse = self.program.direction() == Direction::In;
+        let survivors: Vec<Edge> = {
+            let program = &self.program;
+            let vertices = &w.vertices;
+            let iter = self.iter;
+            data.iter()
+                .filter(|e| {
+                    let v = if reverse { e.dst } else { e.src };
+                    !program.edge_dead(v, &vertices[(v - base) as usize], e, iter)
+                })
+                .copied()
+                .collect()
+        };
+        debug_assert_eq!(survivors.len() as u64, data.len() as u64 - dead);
+        let part = w.part;
+        let bytes = survivors.len() as u64 * self.params.edge_bytes;
+        let sel = self.sel_mut();
+        sel.edges_tombstoned += dead;
+        sel.compactions += 1;
+        self.pending_write_acks += 1;
+        ctx.send(
+            self.machine,
+            Addr::Storage(source),
+            Msg::ReplaceEdgeChunk {
+                part,
+                reverse,
+                entry,
+                data: Arc::new(survivors),
+                from: self.machine,
+            },
+            bytes + CONTROL_BYTES,
+        );
+    }
+
+    /// Accounts chunks the activity filter consumed without serving and,
+    /// in the dense-streaming reference mode, streams their payloads
+    /// through the scatter kernel to enforce the activity contract:
+    /// a skipped chunk must produce nothing.
+    fn on_edge_skips(&mut self, part: usize, skipped: &SkipInfo) {
+        if skipped.chunks == 0 {
+            return;
+        }
+        {
+            let Some(w) = self.work.as_ref() else {
+                return;
+            };
+            if w.part != part {
+                return;
+            }
+            let base = self.params.spec.range(part).start;
+            for chunk in &skipped.oracle {
+                let mut sink = CountSink(0);
+                self.program
+                    .scatter_chunk(base, &w.vertices, chunk, self.iter, &mut sink);
+                assert_eq!(
+                    sink.0,
+                    0,
+                    "activity contract violated: {} produced {} update(s) from a chunk \
+                     its active set skipped (partition {part}, iteration {})",
+                    self.program.name(),
+                    sink.0,
+                    self.iter,
+                );
+            }
+        }
+        let sel = self.sel_mut();
+        sel.chunks_skipped += skipped.chunks as u64;
+        sel.records_skipped += skipped.records;
     }
 
     fn gather_chunk(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Update<P::Update>>>) {
@@ -1556,6 +1758,9 @@ impl<P: GasProgram> ComputeEngine<P> {
         self.barrier_sent = false;
         self.ckpt = CkptState::Idle;
         self.iter = iter;
+        // The redone iteration re-records its selectivity account from
+        // scratch; the aborted attempt's partial counts die with it.
+        self.selectivity.truncate(iter as usize);
         ctx.send(self.machine, Addr::Coordinator, Msg::AbortAck, CONTROL_BYTES);
     }
 
@@ -1579,10 +1784,18 @@ impl<P: GasProgram> Actor for ComputeEngine<P> {
             Msg::InputChunkResp { source, data } => {
                 self.on_input_chunk(ctx, Some(source), data);
             }
-            Msg::EdgeChunkResp { part, source, data } => {
+            Msg::EdgeChunkResp {
+                part,
+                source,
+                entry,
+                data,
+                skipped,
+            } => {
+                self.on_edge_skips(part, &skipped);
                 self.on_stream_chunk(ctx, part, Some(source), data, |d| Work::ScatterChunk {
                     part,
                     data: d,
+                    origin: Some((source, entry)),
                 });
             }
             Msg::UpdateChunkResp { part, source, data } => {
@@ -1666,7 +1879,9 @@ impl<P: GasProgram> Actor for ComputeEngine<P> {
             }
             Msg::Processed { work } => match work {
                 Work::BinInputChunk { data } => self.bin_input_chunk(ctx, data),
-                Work::ScatterChunk { part, data } => self.scatter_chunk(ctx, part, data),
+                Work::ScatterChunk { part, data, origin } => {
+                    self.scatter_chunk(ctx, part, data, origin)
+                }
                 Work::GatherChunk { part, data } => self.gather_chunk(ctx, part, data),
                 Work::ApplyPartition { part } => self.apply_partition(ctx, part),
                 Work::InitPartition { part } => self.init_partition(ctx, part),
@@ -1776,6 +1991,9 @@ impl<P: GasProgram> ComputeEngine<P> {
                             part,
                             reverse: kind == DataKind::EdgesReverse,
                             from: self.machine,
+                            // Centralized placement keeps dense streaming
+                            // (see `activity_on`).
+                            active: None,
                         },
                         CONTROL_BYTES,
                     );
@@ -1934,6 +2152,7 @@ mod tests {
                         work: Work::ScatterChunk {
                             part: 0,
                             data: Arc::clone(&edges),
+                            origin: None,
                         },
                     },
                 );

@@ -79,6 +79,56 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// How the scatter phase consumes edge chunks.
+///
+/// Programs with a non-dense [`chaos_gas::ActivityModel`] let the engine
+/// prove that whole chunks cannot produce updates; this knob selects what
+/// the engine does with the proof. [`Streaming::Selective`] and
+/// [`Streaming::Reference`] make *identical* simulated decisions — same
+/// skips, same device/fabric accounting, same compactions — and therefore
+/// produce bit-identical [`crate::RunReport`]s; the reference mode
+/// additionally streams every skipped chunk through the scatter kernel on
+/// the host and panics if anything comes out, enforcing the activity
+/// contract at run time. [`Streaming::Dense`] switches the machinery off
+/// entirely (the paper's full-stream behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Streaming {
+    /// Activity-aware: skippable chunks are consumed without being read.
+    #[default]
+    Selective,
+    /// The dense-streaming oracle: identical simulated accounting to
+    /// `Selective`, but skipped chunks are still read and streamed through
+    /// the kernels host-side to verify they produce nothing.
+    Reference,
+    /// Full streaming, no activity tracking, no compaction.
+    Dense,
+}
+
+impl std::str::FromStr for Streaming {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "selective" => Ok(Streaming::Selective),
+            "reference" => Ok(Streaming::Reference),
+            "dense" => Ok(Streaming::Dense),
+            _ => Err(format!(
+                "unknown streaming mode {s:?}; expected selective, reference or dense"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Streaming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Streaming::Selective => "selective",
+            Streaming::Reference => "reference",
+            Streaming::Dense => "dense",
+        })
+    }
+}
+
 /// Where a transient machine failure is injected (for the fault-tolerance
 /// experiments).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +186,12 @@ pub struct ChaosConfig {
     /// Execution backend driving the event loop. Results are bit-identical
     /// across backends; only host wall-clock behavior differs.
     pub backend: Backend,
+    /// How the scatter phase consumes edge chunks (see [`Streaming`]).
+    pub streaming: Streaming,
+    /// Minimum dead-edge fraction (per chunk) that triggers in-place
+    /// compaction under [`chaos_gas::ActivityModel::Shrinking`]. Values
+    /// above 1.0 disable compaction.
+    pub compact_threshold: f64,
     /// RNG seed; a run is a pure function of (config, program, graph).
     pub seed: u64,
 }
@@ -167,8 +223,16 @@ impl ChaosConfig {
             failure: None,
             spill_dir: None,
             backend: Backend::Sequential,
+            streaming: Streaming::Selective,
+            compact_threshold: 0.5,
             seed: 0xC4A05,
         }
+    }
+
+    /// Switches the streaming mode.
+    pub fn with_streaming(mut self, streaming: Streaming) -> Self {
+        self.streaming = streaming;
+        self
     }
 
     /// Switches the execution backend.
@@ -233,6 +297,9 @@ impl ChaosConfig {
         if self.backend == (Backend::Parallel { threads: 0 }) {
             return Err("parallel backend needs at least one thread".into());
         }
+        if self.compact_threshold.is_nan() || self.compact_threshold <= 0.0 {
+            return Err("compaction threshold must be positive (above 1.0 disables)".into());
+        }
         Ok(())
     }
 }
@@ -289,6 +356,19 @@ mod tests {
         let mut c = ChaosConfig::new(2).with_backend(Backend::Parallel { threads: 2 });
         assert!(c.validate().is_ok());
         c.backend = Backend::Parallel { threads: 0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn streaming_spec_parses() {
+        assert_eq!("selective".parse::<Streaming>(), Ok(Streaming::Selective));
+        assert_eq!("reference".parse::<Streaming>(), Ok(Streaming::Reference));
+        assert_eq!("dense".parse::<Streaming>(), Ok(Streaming::Dense));
+        assert!("eager".parse::<Streaming>().is_err());
+        assert_eq!(Streaming::Reference.to_string(), "reference");
+        let mut c = ChaosConfig::new(2).with_streaming(Streaming::Dense);
+        assert!(c.validate().is_ok());
+        c.compact_threshold = 0.0;
         assert!(c.validate().is_err());
     }
 

@@ -65,6 +65,6 @@ pub use chaos_runtime::{
     SequentialExecutor, Topology,
 };
 pub use cluster::{run_chaos, Cluster};
-pub use config::{Backend, ChaosConfig, FailureSpec, Placement};
-pub use metrics::{Breakdown, RunReport};
+pub use config::{Backend, ChaosConfig, FailureSpec, Placement, Streaming};
+pub use metrics::{Breakdown, IterSelectivity, RunReport};
 pub use runtime::{Addr, ChaosActor, ClusterExecutor, ClusterScheduler, ClusterTopology, RunParams};

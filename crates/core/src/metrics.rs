@@ -55,6 +55,53 @@ impl Breakdown {
     }
 }
 
+/// Per-iteration selective-streaming observability: how much of the
+/// scatter work the activity filter proved unnecessary, and how far
+/// shrinking-graph compaction has eaten into the stored edge set.
+///
+/// All quantities are simulated and deterministic — identical across
+/// execution backends, and identical between [`crate::config::Streaming::Selective`]
+/// and [`crate::config::Streaming::Reference`] runs (that equality is what the
+/// property tests pin).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterSelectivity {
+    /// Scatter-side vertices the activity contract declared able to emit,
+    /// summed over partitions (each partition counted once, by its master).
+    pub active_vertices: u64,
+    /// Vertices covered by those counts.
+    pub total_vertices: u64,
+    /// Edge chunks consumed without being read.
+    pub chunks_skipped: u64,
+    /// Records in those chunks.
+    pub records_skipped: u64,
+    /// Edges dropped from storage by in-place chunk compaction.
+    pub edges_tombstoned: u64,
+    /// Chunk compactions performed.
+    pub compactions: u64,
+}
+
+impl IterSelectivity {
+    /// Element-wise accumulation (merging machines' accounts).
+    pub fn absorb(&mut self, o: &IterSelectivity) {
+        self.active_vertices += o.active_vertices;
+        self.total_vertices += o.total_vertices;
+        self.chunks_skipped += o.chunks_skipped;
+        self.records_skipped += o.records_skipped;
+        self.edges_tombstoned += o.edges_tombstoned;
+        self.compactions += o.compactions;
+    }
+
+    /// Fraction of covered vertices that were active (1.0 when nothing
+    /// was tracked, i.e. dense programs).
+    pub fn active_fraction(&self) -> f64 {
+        if self.total_vertices == 0 {
+            1.0
+        } else {
+            self.active_vertices as f64 / self.total_vertices as f64
+        }
+    }
+}
+
 /// Everything measured over one run of the engine.
 ///
 /// Reports compare equal (`PartialEq`) field by field; the backend-
@@ -90,8 +137,13 @@ pub struct RunReport {
     pub events: u64,
     /// Edge + update records streamed through the scatter/gather kernels,
     /// summed over machines (host-throughput accounting; invariant across
-    /// backends and across batched/per-record kernels).
+    /// backends and across batched/per-record kernels). Records skipped by
+    /// selective streaming are *not* counted here — they appear in
+    /// [`RunReport::selectivity`].
     pub records_streamed: u64,
+    /// Per-iteration selective-streaming account, summed over machines
+    /// (all zeros under [`crate::config::Streaming::Dense`]).
+    pub selectivity: Vec<IterSelectivity>,
     /// Execution backend that drove the run (provenance; does not affect
     /// any simulated quantity).
     pub backend: crate::config::Backend,
@@ -134,6 +186,26 @@ impl RunReport {
     /// Runtime in (fractional) seconds.
     pub fn seconds(&self) -> f64 {
         self.runtime as f64 / 1e9
+    }
+
+    /// Total edge records the activity filter consumed without reading.
+    pub fn records_skipped(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.records_skipped).sum()
+    }
+
+    /// Total edge chunks consumed without being read.
+    pub fn chunks_skipped(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.chunks_skipped).sum()
+    }
+
+    /// Total edges dropped from storage by compaction.
+    pub fn edges_tombstoned(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.edges_tombstoned).sum()
+    }
+
+    /// Total chunk compactions performed.
+    pub fn compactions(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.compactions).sum()
     }
 
     /// The report with the backend-provenance fields cleared, for

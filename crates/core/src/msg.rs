@@ -9,8 +9,32 @@
 
 use std::sync::Arc;
 
-use chaos_gas::{GasProgram, IterationAggregates, Update};
+use chaos_gas::{ActiveSet, GasProgram, IterationAggregates, Update};
 use chaos_graph::Edge;
+
+/// Account of chunks an activity filter consumed without serving (piggy-
+/// backed on the chunk response; metadata-only, no wire-size charge).
+pub struct SkipInfo {
+    /// Chunks skipped.
+    pub chunks: u32,
+    /// Records in those chunks.
+    pub records: u64,
+    /// Skipped payloads, riding along only in the dense-streaming
+    /// reference mode so the engine can verify they scatter to nothing
+    /// (a host-side testing artifact, not simulated traffic).
+    pub oracle: Vec<Arc<Vec<Edge>>>,
+}
+
+impl SkipInfo {
+    /// The no-skip account.
+    pub fn none() -> Self {
+        Self {
+            chunks: 0,
+            records: 0,
+            oracle: Vec::new(),
+        }
+    }
+}
 
 /// Wire size charged for a control message (request, ack, proposal, ...).
 pub const CONTROL_BYTES: u64 = 64;
@@ -78,6 +102,11 @@ pub enum Msg<P: GasProgram> {
         reverse: bool,
         /// Requesting machine.
         from: usize,
+        /// Active scatter-source summary for selective streaming: chunks
+        /// whose source window misses it are consumed without being read.
+        /// `None` streams densely. Charged on the wire at
+        /// [`ActiveSet::wire_bytes`] on top of [`CONTROL_BYTES`].
+        active: Option<Arc<ActiveSet>>,
     },
     /// Reply to [`Msg::EdgeChunkReq`].
     EdgeChunkResp {
@@ -85,8 +114,13 @@ pub enum Msg<P: GasProgram> {
         part: usize,
         /// Responding storage engine.
         source: usize,
+        /// Entry id of the served chunk within its chunk set (the stable
+        /// address compaction replacements target).
+        entry: u32,
         /// Chunk payload, or `None` when exhausted here.
         data: Option<Arc<Vec<Edge>>>,
+        /// Chunks the activity filter consumed without serving.
+        skipped: SkipInfo,
     },
     /// Ask for any unprocessed update chunk of `part`.
     UpdateChunkReq {
@@ -154,6 +188,22 @@ pub enum Msg<P: GasProgram> {
         /// Vertex records.
         data: Arc<Vec<P::VertexState>>,
         /// Writing machine.
+        from: usize,
+    },
+    /// Replace an edge chunk in place with its live (non-tombstoned)
+    /// records — shrinking-graph compaction. The replacement applies from
+    /// the next epoch on; serve-once semantics are untouched because the
+    /// sender is the unique engine that streamed this chunk this epoch.
+    ReplaceEdgeChunk {
+        /// Partition the chunk belongs to.
+        part: usize,
+        /// Whether it lives in the destination-keyed copy.
+        reverse: bool,
+        /// Entry id reported by the serving [`Msg::EdgeChunkResp`].
+        entry: u32,
+        /// The surviving records.
+        data: Arc<Vec<Edge>>,
+        /// Compacting machine (for the ack).
         from: usize,
     },
     /// Write acknowledgement.
@@ -352,6 +402,10 @@ pub enum Work<P: GasProgram> {
         part: usize,
         /// The edges.
         data: Arc<Vec<Edge>>,
+        /// Chunk provenance `(storage engine, entry id)` so a compaction
+        /// replacement can address the chunk in place; `None` when the
+        /// chunk did not come from an addressable chunk set.
+        origin: Option<(usize, u32)>,
     },
     /// Gather an update chunk of `part`.
     GatherChunk {
@@ -389,6 +443,7 @@ impl<P: GasProgram> std::fmt::Debug for Msg<P> {
             Msg::VertexChunkReq { .. } => "VertexChunkReq",
             Msg::VertexChunkResp { .. } => "VertexChunkResp",
             Msg::WriteEdgeChunk { .. } => "WriteEdgeChunk",
+            Msg::ReplaceEdgeChunk { .. } => "ReplaceEdgeChunk",
             Msg::WriteUpdateChunk { .. } => "WriteUpdateChunk",
             Msg::WriteVertexChunk { .. } => "WriteVertexChunk",
             Msg::WriteAck { .. } => "WriteAck",

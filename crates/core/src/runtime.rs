@@ -11,7 +11,7 @@ use chaos_graph::PartitionSpec;
 use chaos_runtime::Topology;
 use chaos_sim::rng::mix2;
 
-use crate::config::{ChaosConfig, Placement};
+use crate::config::{ChaosConfig, Placement, Streaming};
 use crate::msg::Msg;
 
 /// Handler context for Chaos actors (generic context over [`Addr`] and
@@ -130,6 +130,8 @@ pub struct RunParams {
     pub window: usize,
     /// Chunk placement policy (affects vertex-chunk homes).
     pub placement: Placement,
+    /// How the scatter phase consumes edge chunks.
+    pub streaming: Streaming,
 }
 
 impl RunParams {
@@ -153,6 +155,7 @@ impl RunParams {
             verts_per_chunk: (cb / vstate_bytes).max(1) as usize,
             window: cfg.batch_window,
             placement: cfg.placement,
+            streaming: cfg.streaming,
         }
     }
 

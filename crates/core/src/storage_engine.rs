@@ -25,8 +25,32 @@ use chaos_storage::{ChunkSet, Device, PageCache, VertexArray};
 
 use chaos_storage::FileBacking;
 
-use crate::msg::{DataKind, Msg, WriteKind, CONTROL_BYTES};
+use crate::config::Streaming;
+use crate::msg::{DataKind, Msg, SkipInfo, WriteKind, CONTROL_BYTES};
 use crate::runtime::{Addr, Ctx, RunParams};
+
+/// Inclusive scatter-key window of an edge chunk: the source-range index
+/// selective streaming tests active sets against. Forward chunks key on
+/// `src`, destination-keyed (reverse) chunks on `dst` — whichever endpoint
+/// supplies scatter state when the chunk streams. An empty chunk yields
+/// the canonical inverted window `(u64::MAX, 0)`, skippable under any
+/// active set.
+fn edge_window(data: &[Edge], reverse: bool) -> (u64, u64) {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    if reverse {
+        for e in data {
+            lo = lo.min(e.dst);
+            hi = hi.max(e.dst);
+        }
+    } else {
+        for e in data {
+            lo = lo.min(e.src);
+            hi = hi.max(e.src);
+        }
+    }
+    (lo, hi)
+}
 
 /// Opens the backing file for one (structure, partition) pair.
 fn open_backing(dir: &std::path::Path, name: &str, part: usize) -> FileBacking {
@@ -140,6 +164,47 @@ impl<P: GasProgram> StorageEngine<P> {
         self.edges.iter().map(|c| c.stats().bytes).sum()
     }
 
+    /// Stores an edge chunk: appends it (`entry: None`) or replaces an
+    /// existing entry in place (compaction), computing the scatter-key
+    /// window index either way, charging one device write of the chunk's
+    /// bytes, and acking `WriteKind::Edges`.
+    fn store_edge_chunk(
+        &mut self,
+        ctx: &mut Ctx<P>,
+        part: usize,
+        reverse: bool,
+        data: Arc<Vec<Edge>>,
+        entry: Option<u32>,
+        from: usize,
+    ) {
+        let now = ctx.now;
+        let bytes = data.len() as u64 * self.params.edge_bytes;
+        let window = edge_window(&data, reverse);
+        let set = if reverse {
+            &mut self.redges[part]
+        } else {
+            &mut self.edges[part]
+        };
+        match entry {
+            None => {
+                set.append_windowed(data, Some(window)).expect("mem io");
+            }
+            Some(e) => {
+                set.replace(e, data, Some(window)).expect("mem io");
+            }
+        }
+        let done = self.device.write(now, bytes);
+        self.respond_at(
+            ctx,
+            done,
+            from,
+            Msg::WriteAck {
+                kind: WriteKind::Edges,
+            },
+            CONTROL_BYTES,
+        );
+    }
+
     /// Defers `msg` until the device completes at `at`, then sends it to
     /// the computation engine of machine `to` with the given wire size.
     fn respond_at(
@@ -207,15 +272,29 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 part,
                 reverse,
                 from,
+                active,
             } => {
+                let materialize = self.params.streaming == Streaming::Reference;
                 let set = if reverse {
                     &mut self.redges[part]
                 } else {
                     &mut self.edges[part]
                 };
-                match set.serve_next().expect("mem io") {
-                    Some(data) => {
-                        let bytes = data.len() as u64 * self.params.edge_bytes;
+                // Skipped chunks cost neither device time nor wire bytes:
+                // the source-range index is in-memory metadata, and the
+                // payloads are never read (the reference mode materializes
+                // them for oracle streaming without touching accounting).
+                let outcome = set
+                    .serve_next_selective(active.as_deref(), materialize)
+                    .expect("mem io");
+                let skipped = SkipInfo {
+                    chunks: outcome.skipped_chunks,
+                    records: outcome.skipped_records,
+                    oracle: outcome.skipped_payloads,
+                };
+                match outcome.served {
+                    Some(served) => {
+                        let bytes = served.data.len() as u64 * self.params.edge_bytes;
                         let done = self.device.read(now, bytes);
                         self.respond_at(
                             ctx,
@@ -224,7 +303,9 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                             Msg::EdgeChunkResp {
                                 part,
                                 source: me,
-                                data: Some(data),
+                                entry: served.entry,
+                                data: Some(served.data),
+                                skipped,
                             },
                             bytes + CONTROL_BYTES,
                         );
@@ -236,7 +317,9 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                         Msg::EdgeChunkResp {
                             part,
                             source: me,
+                            entry: 0,
                             data: None,
+                            skipped,
                         },
                         CONTROL_BYTES,
                     ),
@@ -320,25 +403,14 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 reverse,
                 data,
                 from,
-            } => {
-                let bytes = data.len() as u64 * self.params.edge_bytes;
-                let set = if reverse {
-                    &mut self.redges[part]
-                } else {
-                    &mut self.edges[part]
-                };
-                set.append(data).expect("mem io");
-                let done = self.device.write(now, bytes);
-                self.respond_at(
-                    ctx,
-                    done,
-                    from,
-                    Msg::WriteAck {
-                        kind: WriteKind::Edges,
-                    },
-                    CONTROL_BYTES,
-                );
-            }
+            } => self.store_edge_chunk(ctx, part, reverse, data, None, from),
+            Msg::ReplaceEdgeChunk {
+                part,
+                reverse,
+                entry,
+                data,
+                from,
+            } => self.store_edge_chunk(ctx, part, reverse, data, Some(entry), from),
             Msg::WriteUpdateChunk { part, data, from } => {
                 let bytes = data.len() as u64 * self.params.update_bytes;
                 self.updates[part].append(data).expect("mem io");

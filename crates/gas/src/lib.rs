@@ -16,10 +16,12 @@
 //! accumulator. The master/stealer accumulator-exchange protocol is
 //! unchanged.
 
+pub mod active;
 pub mod executor;
 pub mod program;
 pub mod record;
 
+pub use active::{ActiveSet, ActivityModel};
 pub use executor::{run_sequential, SequentialResult};
 pub use program::{
     Control, Direction, GasProgram, IterationAggregates, PerRecordKernels, UpdateSink,

@@ -2,6 +2,7 @@
 
 use chaos_graph::{Edge, VertexId};
 
+use crate::active::ActivityModel;
 use crate::record::{Record, Update};
 
 /// Which edge endpoint supplies scatter state this iteration.
@@ -222,6 +223,66 @@ pub trait GasProgram: Clone + Send + 'static {
         }
     }
 
+    /// The program's activity contract (see [`crate::active`]). The
+    /// default keeps the paper's dense streaming: every vertex is assumed
+    /// able to scatter every iteration and nothing is ever skipped.
+    fn activity(&self) -> ActivityModel {
+        ActivityModel::Dense
+    }
+
+    /// Whether vertex `v` may emit *any* update this iteration, under
+    /// [`ActivityModel::Frontier`] or [`ActivityModel::Shrinking`].
+    ///
+    /// Must be conservative: `false` promises that [`GasProgram::scatter`]
+    /// returns `None` for every edge whose scatter-side endpoint is `v` at
+    /// this iteration. The dense-streaming reference mode enforces the
+    /// promise at run time.
+    fn is_active(&self, _v: VertexId, _state: &Self::VertexState, _iter: u32) -> bool {
+        true
+    }
+
+    /// Whether `edge` can never produce an update in any future iteration
+    /// (under [`ActivityModel::Shrinking`]): the engine may tombstone it
+    /// and drop it from storage during chunk compaction. `v`/`state` are
+    /// the scatter-side endpoint and its current value. Must only return
+    /// `true` when deadness is *permanent* — compaction is irreversible.
+    fn edge_dead(&self, _v: VertexId, _state: &Self::VertexState, _edge: &Edge, _iter: u32) -> bool {
+        false
+    }
+
+    /// Whether dead-edge scanning is meaningful this iteration (gates the
+    /// per-chunk [`GasProgram::dead_edges`] pass under
+    /// [`ActivityModel::Shrinking`]; phases in which deadness cannot be
+    /// decided yet should return `false`).
+    fn shrinks_now(&self, _iter: u32) -> bool {
+        false
+    }
+
+    /// Counts the permanently dead edges in a chunk (chunk-granularity
+    /// companion of [`GasProgram::edge_dead`], same equivalence contract
+    /// as the scatter/gather kernels). The default loops over `edge_dead`
+    /// honoring [`GasProgram::direction`].
+    fn dead_edges(&self, base: VertexId, states: &[Self::VertexState], edges: &[Edge], iter: u32) -> u64 {
+        let mut dead = 0;
+        match self.direction() {
+            Direction::Out => {
+                for e in edges {
+                    if self.edge_dead(e.src, &states[(e.src - base) as usize], e, iter) {
+                        dead += 1;
+                    }
+                }
+            }
+            Direction::In => {
+                for e in edges {
+                    if self.edge_dead(e.dst, &states[(e.dst - base) as usize], e, iter) {
+                        dead += 1;
+                    }
+                }
+            }
+        }
+        dead
+    }
+
     /// Contribution of a vertex to the custom aggregate slots, sampled after
     /// apply each iteration.
     fn aggregate(&self, _state: &Self::VertexState) -> [f64; CUSTOM_AGGREGATES] {
@@ -313,6 +374,27 @@ impl<P: GasProgram> GasProgram for PerRecordKernels<P> {
     ) -> bool {
         self.0.apply(v, state, acc, iter)
     }
+
+    fn activity(&self) -> ActivityModel {
+        self.0.activity()
+    }
+
+    fn is_active(&self, v: VertexId, state: &Self::VertexState, iter: u32) -> bool {
+        self.0.is_active(v, state, iter)
+    }
+
+    fn edge_dead(&self, v: VertexId, state: &Self::VertexState, edge: &Edge, iter: u32) -> bool {
+        self.0.edge_dead(v, state, edge, iter)
+    }
+
+    fn shrinks_now(&self, iter: u32) -> bool {
+        self.0.shrinks_now(iter)
+    }
+
+    // `dead_edges` is deliberately NOT forwarded: like `scatter_chunk` and
+    // `gather_chunk`, it is a chunk kernel pinned to the default per-edge
+    // loop (over the delegating `edge_dead`), so the equivalence tests also
+    // cover specialized dead-scan bodies.
 
     fn aggregate(&self, state: &Self::VertexState) -> [f64; CUSTOM_AGGREGATES] {
         self.0.aggregate(state)

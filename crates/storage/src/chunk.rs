@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use chaos_gas::Record;
+use chaos_gas::{ActiveSet, Record};
 
 use crate::file::FileBacking;
 
@@ -27,6 +27,40 @@ enum Payload<T> {
 struct Entry<T> {
     payload: Payload<T>,
     records: u64,
+    /// Inclusive scatter-key window `(lo, hi)` of the chunk's records —
+    /// the source-range index selective streaming tests active sets
+    /// against. `None` means unindexed (never skipped); an inverted window
+    /// (`lo > hi`) is the canonical empty chunk, skippable under any
+    /// active set.
+    window: Option<(u64, u64)>,
+}
+
+/// One chunk handed out by [`ChunkSet::serve_next_selective`].
+#[derive(Debug)]
+pub struct ServedChunk<T> {
+    /// Index of the entry within the set — the stable identity used to
+    /// address in-place replacement (compaction).
+    pub entry: u32,
+    /// The payload.
+    pub data: Arc<Vec<T>>,
+}
+
+/// Outcome of one selective serve: the next chunk whose source window
+/// intersects the active set (if any), plus an account of every chunk the
+/// filter consumed without reading.
+#[derive(Debug)]
+pub struct ServeOutcome<T> {
+    /// The served chunk, or `None` when the set is exhausted this epoch.
+    pub served: Option<ServedChunk<T>>,
+    /// Chunks skipped by the activity filter before this response.
+    pub skipped_chunks: u32,
+    /// Records in those skipped chunks.
+    pub skipped_records: u64,
+    /// Skipped payloads, materialized only when the caller asks (the
+    /// dense-streaming reference mode streams them through the kernels to
+    /// verify they produce nothing). Empty under selective streaming —
+    /// skipping without reading is the point.
+    pub skipped_payloads: Vec<Arc<Vec<T>>>,
 }
 
 /// Aggregate statistics for a chunk set.
@@ -86,12 +120,27 @@ impl<T: Record> ChunkSet<T> {
         self.file.is_some()
     }
 
-    /// Appends a chunk. Returns its storage size in bytes.
+    /// Appends an unindexed chunk. Returns its storage size in bytes.
     ///
     /// # Errors
     ///
     /// Returns an I/O error if the file backend write fails.
     pub fn append(&mut self, records: Arc<Vec<T>>) -> std::io::Result<u64> {
+        self.append_windowed(records, None)
+    }
+
+    /// Appends a chunk carrying a scatter-key window index (inclusive
+    /// `(lo, hi)` over the records' scatter-side vertex ids). Returns its
+    /// storage size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file backend write fails.
+    pub fn append_windowed(
+        &mut self,
+        records: Arc<Vec<T>>,
+        window: Option<(u64, u64)>,
+    ) -> std::io::Result<u64> {
         let n = records.len() as u64;
         let bytes = n * self.record_bytes;
         let payload = match &mut self.file {
@@ -104,8 +153,48 @@ impl<T: Record> ChunkSet<T> {
         self.entries.push(Entry {
             payload,
             records: n,
+            window,
         });
         Ok(bytes)
+    }
+
+    /// Replaces the payload of entry `entry` in place (chunk compaction:
+    /// tombstoned records removed, identity and serve-once semantics
+    /// preserved). Returns `(old_bytes, new_bytes)` at the configured
+    /// record width. On the file backend the survivors are appended and
+    /// the entry repointed — log-structured compaction; the dead extent
+    /// stays in the backing file until the set is cleared or dropped
+    /// (edge sets are never cleared mid-run, so their files only shrink
+    /// when the run's scratch directory goes away — growth is bounded,
+    /// since each replacement writes at most half the previous extent).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file backend write fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range.
+    pub fn replace(
+        &mut self,
+        entry: u32,
+        records: Arc<Vec<T>>,
+        window: Option<(u64, u64)>,
+    ) -> std::io::Result<(u64, u64)> {
+        let n = records.len() as u64;
+        let new_bytes = n * self.record_bytes;
+        let e = &mut self.entries[entry as usize];
+        let old_bytes = e.records * self.record_bytes;
+        e.payload = match &mut self.file {
+            Some(f) => {
+                let (off, len) = f.append(records.as_slice())?;
+                Payload::File(off, len)
+            }
+            None => Payload::Mem(records),
+        };
+        e.records = n;
+        e.window = window;
+        Ok((old_bytes, new_bytes))
     }
 
     /// Serves the next unprocessed chunk for the current iteration, or
@@ -116,20 +205,74 @@ impl<T: Record> ChunkSet<T> {
     ///
     /// Returns an I/O error if the file backend read fails.
     pub fn serve_next(&mut self) -> std::io::Result<Option<Arc<Vec<T>>>> {
-        if self.cursor >= self.entries.len() {
-            return Ok(None);
-        }
-        let idx = self.cursor;
-        self.cursor += 1;
-        let entry = &self.entries[idx];
-        let data = match &entry.payload {
-            Payload::Mem(a) => Arc::clone(a),
-            Payload::File(off, len) => {
-                let f = self.file.as_mut().expect("file payload without backing");
-                Arc::new(f.read::<T>(*off, *len)?)
-            }
+        Ok(self
+            .serve_next_selective(None, false)?
+            .served
+            .map(|s| s.data))
+    }
+
+    /// Serves the next unprocessed chunk whose source window intersects
+    /// `active`, consuming (but not reading) every indexed chunk in front
+    /// of it that provably holds no active source. With `active = None`
+    /// nothing is filtered and this is exactly [`ChunkSet::serve_next`].
+    ///
+    /// Skipped chunks count as served for the epoch: the cursor moves past
+    /// them, [`ChunkSet::bytes_remaining`] drops by their size, and they
+    /// come back only after [`ChunkSet::reset_epoch`]. With
+    /// `materialize_skipped`, skipped payloads are read anyway and
+    /// returned for oracle verification (the dense-streaming reference
+    /// mode) — accounting is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file backend read fails.
+    pub fn serve_next_selective(
+        &mut self,
+        active: Option<&ActiveSet>,
+        materialize_skipped: bool,
+    ) -> std::io::Result<ServeOutcome<T>> {
+        let mut out = ServeOutcome {
+            served: None,
+            skipped_chunks: 0,
+            skipped_records: 0,
+            skipped_payloads: Vec::new(),
         };
-        Ok(Some(data))
+        while self.cursor < self.entries.len() {
+            let idx = self.cursor;
+            self.cursor += 1;
+            let skip = match (active, self.entries[idx].window) {
+                (Some(a), Some((lo, hi))) => !a.any_in_window(lo, hi),
+                _ => false,
+            };
+            if skip {
+                out.skipped_chunks += 1;
+                out.skipped_records += self.entries[idx].records;
+                if materialize_skipped {
+                    let data = self.read_entry(idx)?;
+                    out.skipped_payloads.push(data);
+                }
+                continue;
+            }
+            let data = self.read_entry(idx)?;
+            out.served = Some(ServedChunk {
+                entry: idx as u32,
+                data,
+            });
+            break;
+        }
+        Ok(out)
+    }
+
+    /// Materializes the payload of entry `idx`.
+    fn read_entry(&mut self, idx: usize) -> std::io::Result<Arc<Vec<T>>> {
+        match &self.entries[idx].payload {
+            Payload::Mem(a) => Ok(Arc::clone(a)),
+            Payload::File(off, len) => {
+                let (off, len) = (*off, *len);
+                let f = self.file.as_mut().expect("file payload without backing");
+                Ok(Arc::new(f.read::<T>(off, len)?))
+            }
+        }
     }
 
     /// Storage bytes not yet consumed this iteration; the master's estimate
@@ -331,6 +474,89 @@ mod tests {
         let c = cs.serve_next().unwrap().unwrap();
         assert_eq!(c.as_slice(), &[5, 6, 7, 8]);
         assert!(cs.serve_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn selective_serve_skips_inactive_windows() {
+        use chaos_gas::ActiveSet;
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        cs.append_windowed(chunk(0, 10), Some((0, 9))).unwrap();
+        cs.append_windowed(chunk(10, 20), Some((10, 19))).unwrap();
+        cs.append_windowed(chunk(20, 30), Some((20, 29))).unwrap();
+        cs.append(chunk(30, 32)).unwrap(); // unindexed: never skipped
+        // Only 20..30 active.
+        let active = ActiveSet::from_fn(0, 32, |off| (20..30).contains(&off));
+        let r = cs.serve_next_selective(Some(&active), false).unwrap();
+        let served = r.served.expect("active chunk served");
+        assert_eq!(served.entry, 2);
+        assert_eq!(served.data[0], 20);
+        assert_eq!(r.skipped_chunks, 2);
+        assert_eq!(r.skipped_records, 20);
+        assert!(r.skipped_payloads.is_empty(), "selective mode never reads skips");
+        // Skipped chunks are consumed for the epoch.
+        assert_eq!(cs.bytes_remaining(), 2 * 8);
+        let r = cs.serve_next_selective(Some(&active), false).unwrap();
+        assert_eq!(r.served.expect("unindexed chunk").entry, 3);
+        let r = cs.serve_next_selective(Some(&active), false).unwrap();
+        assert!(r.served.is_none());
+        assert!(cs.exhausted());
+        // Epoch reset brings the skipped chunks back.
+        cs.reset_epoch();
+        assert_eq!(cs.serve_next().unwrap().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn reference_mode_materializes_skipped_payloads() {
+        use chaos_gas::ActiveSet;
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        cs.append_windowed(chunk(0, 5), Some((0, 4))).unwrap();
+        cs.append_windowed(chunk(5, 9), Some((5, 8))).unwrap();
+        let active = ActiveSet::from_fn(0, 16, |_| false);
+        let r = cs.serve_next_selective(Some(&active), true).unwrap();
+        assert!(r.served.is_none());
+        assert_eq!(r.skipped_chunks, 2);
+        assert_eq!(r.skipped_records, 9);
+        assert_eq!(r.skipped_payloads.len(), 2);
+        assert_eq!(r.skipped_payloads[0].as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn replace_compacts_in_place_preserving_identity() {
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        cs.append_windowed(chunk(0, 10), Some((0, 9))).unwrap();
+        cs.append_windowed(chunk(10, 20), Some((10, 19))).unwrap();
+        let (old, new) = cs.replace(0, chunk(0, 3), Some((0, 2))).unwrap();
+        assert_eq!((old, new), (80, 24));
+        assert_eq!(cs.stats().records, 13);
+        assert_eq!(cs.stats().chunks, 2, "identity preserved");
+        // The replaced entry serves its new, smaller payload.
+        let a = cs.serve_next().unwrap().unwrap();
+        assert_eq!(a.as_slice(), &[0, 1, 2]);
+        // Compaction to empty yields an always-skippable inverted window.
+        cs.replace(1, Arc::new(Vec::new()), Some((u64::MAX, 0))).unwrap();
+        cs.reset_epoch();
+        use chaos_gas::ActiveSet;
+        let everything = ActiveSet::from_fn(0, 32, |_| true);
+        let r = cs.serve_next_selective(Some(&everything), false).unwrap();
+        assert_eq!(r.served.expect("live chunk").entry, 0);
+        let r = cs.serve_next_selective(Some(&everything), false).unwrap();
+        assert!(r.served.is_none(), "empty chunk skipped under any active set");
+        assert_eq!(r.skipped_chunks, 1);
+        assert_eq!(r.skipped_records, 0);
+    }
+
+    #[test]
+    fn file_backed_replace_roundtrip() {
+        let dir = ScratchDir::new("chaos-chunkset-replace").unwrap();
+        let fb = FileBacking::create(&dir.path().join("edges.dat")).unwrap();
+        let mut cs = ChunkSet::<u64>::file_backed(8, fb);
+        cs.append_windowed(chunk(0, 100), Some((0, 99))).unwrap();
+        cs.replace(0, chunk(40, 50), Some((40, 49))).unwrap();
+        let a = cs.serve_next().unwrap().unwrap();
+        assert_eq!(a.as_slice(), &(40..50).collect::<Vec<_>>()[..]);
+        cs.reset_epoch();
+        let again = cs.serve_next().unwrap().unwrap();
+        assert_eq!(again.as_slice(), a.as_slice());
     }
 
     #[test]

@@ -1,46 +1,52 @@
 #!/usr/bin/env bash
-# Bench smoke: run the Figure 7 harness on both execution backends, verify
-# the figure output is byte-identical (the simulation is backend-invariant),
-# and record wall-clock timings plus the hot-path throughput metric
-# (edge+update records streamed per wall-second) to BENCH_pr3.json.
+# Bench smoke: run the Figure 7 harness on both execution backends AND in
+# the dense-streaming reference mode, verify all outputs are byte-identical
+# (the simulation is backend-invariant, and selective streaming accounts
+# exactly like its dense-streaming oracle), and record wall-clock timings
+# plus the hot-path metrics (records streamed per wall-second, records
+# skipped by selective streaming) to BENCH_pr4.json.
 #
-# When a BENCH_pr2.json baseline is present (repo root), the run fails if
+# When a BENCH_pr3.json baseline is present (repo root), the run fails if
 # sequential wall time regressed more than 10% against it — the perf gate
-# for the batched-kernel / allocation-free hot paths.
+# for the selective-streaming / shrinking-graph-compaction hot paths.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT_JSON="${1:-BENCH_pr3.json}"
+OUT_JSON="${1:-BENCH_pr4.json}"
 EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
 PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr2.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr3.json}"
 
 cargo build --release -p chaos-bench --bin figures
 
 BIN=./target/release/figures
 SEQ_OUT=$(mktemp)
 PAR_OUT=$(mktemp)
+REF_OUT=$(mktemp)
 ERR_LOG=$(mktemp)
-trap 'rm -f "$SEQ_OUT" "$PAR_OUT" "$ERR_LOG"' EXIT
+trap 'rm -f "$SEQ_OUT" "$PAR_OUT" "$REF_OUT" "$ERR_LOG"' EXIT
 
 # Keep stderr (panics, asserts) out of the compared output but dump it on
 # failure so CI logs show *why* a run died, not just that it did.
-run_backend() {
-    local backend="$1" out="$2"
-    if ! "$BIN" "$EXPERIMENT" --backend "$backend" >"$out" 2>"$ERR_LOG"; then
-        echo "FAIL: $EXPERIMENT --backend $backend exited nonzero; stderr:" >&2
+run_mode() {
+    local out="$1"
+    shift
+    if ! "$BIN" "$EXPERIMENT" "$@" >"$out" 2>"$ERR_LOG"; then
+        echo "FAIL: $EXPERIMENT $* exited nonzero; stderr:" >&2
         cat "$ERR_LOG" >&2
         exit 1
     fi
 }
 
 t0=$(date +%s.%N)
-run_backend seq "$SEQ_OUT"
+run_mode "$SEQ_OUT" --backend seq
 t1=$(date +%s.%N)
-run_backend "$PAR_BACKEND" "$PAR_OUT"
+run_mode "$PAR_OUT" --backend "$PAR_BACKEND"
 t2=$(date +%s.%N)
+run_mode "$REF_OUT" --backend seq --streaming reference
+t3=$(date +%s.%N)
 
 if ! cmp -s "$SEQ_OUT" "$PAR_OUT"; then
     echo "FAIL: $EXPERIMENT output differs between backends" >&2
@@ -48,15 +54,25 @@ if ! cmp -s "$SEQ_OUT" "$PAR_OUT"; then
     exit 1
 fi
 echo "OK: $EXPERIMENT output is byte-identical across backends"
+if ! cmp -s "$SEQ_OUT" "$REF_OUT"; then
+    echo "FAIL: $EXPERIMENT output differs between selective and dense-reference streaming" >&2
+    diff "$SEQ_OUT" "$REF_OUT" | head -40 >&2
+    exit 1
+fi
+echo "OK: $EXPERIMENT output is byte-identical vs the dense-streaming reference mode"
 
 SEQ_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
 PAR_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
+REF_S=$(python3 -c "print(f'{$t3 - $t2:.2f}')")
 SPEEDUP=$(python3 -c "print(f'{($t1 - $t0) / ($t2 - $t1):.3f}')")
 NCPU=$(nproc 2>/dev/null || echo 0)
-# The fig7 harness prints the records-streamed total (a simulated,
-# backend-invariant quantity); throughput = records per seq wall-second.
+# The fig7 harness prints the records-streamed/skipped totals (simulated,
+# backend- and mode-invariant quantities); throughput = records per seq
+# wall-second.
 RECORDS=$(sed -n 's/^records streamed: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 RECORDS=${RECORDS:-0}
+SKIPPED=$(sed -n 's/^records skipped: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
+SKIPPED=${SKIPPED:-0}
 THROUGHPUT=$(python3 -c "print(f'{$RECORDS / ($t1 - $t0):.0f}')")
 
 cat >"$OUT_JSON" <<EOF
@@ -67,8 +83,10 @@ cat >"$OUT_JSON" <<EOF
     "seq": { "wall_seconds": $SEQ_S },
     "$PAR_BACKEND": { "wall_seconds": $PAR_S }
   },
+  "reference_streaming_seq_wall_seconds": $REF_S,
   "seq_over_par_speedup": $SPEEDUP,
   "records_streamed": $RECORDS,
+  "records_skipped": $SKIPPED,
   "records_per_wall_second_seq": $THROUGHPUT,
   "identical_output": true,
   "host_cpus": $NCPU,
@@ -102,7 +120,9 @@ if base_cpus != ncpu:
     sys.exit(0)
 limit = old * 1.10
 status = "OK" if seq_s <= limit else "FAIL"
-print(f"{status}: seq wall {seq_s:.2f}s vs baseline {old:.2f}s (limit {limit:.2f}s)")
+delta = 100.0 * (old - seq_s) / old
+print(f"{status}: seq wall {seq_s:.2f}s vs baseline {old:.2f}s "
+      f"(limit {limit:.2f}s; {delta:+.1f}% faster-than-baseline)")
 sys.exit(0 if seq_s <= limit else 1)
 PY
 fi

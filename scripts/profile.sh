@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# profile.sh — wrap the gprofng collect/display recipe used to find hot
+# cells (perf and valgrind are unavailable in the dev container; gprofng
+# works, and while its sample totals under-report, relative shares are
+# usable).
+#
+# Usage:
+#   scripts/profile.sh <command...>
+#   scripts/profile.sh ./target/release/cellstats MCST 16 16
+#   PROFILE_TOP=40 scripts/profile.sh ./target/release/figures fig7
+#
+# Collects into a throwaway experiment directory and prints the top
+# functions by exclusive CPU time. Build the target with --release first;
+# debug-symbol-bearing release builds (the workspace default) give named
+# frames.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: scripts/profile.sh <command...>" >&2
+    echo "e.g.:  scripts/profile.sh ./target/release/cellstats MCST 16 16" >&2
+    exit 2
+fi
+if ! command -v gprofng >/dev/null 2>&1; then
+    echo "error: gprofng not found on PATH (binutils' profiler)" >&2
+    exit 1
+fi
+
+TOP="${PROFILE_TOP:-30}"
+ER_DIR=$(mktemp -d)/profile.er
+trap 'rm -rf "$(dirname "$ER_DIR")"' EXIT
+
+echo "collecting into $ER_DIR ..." >&2
+gprofng collect app -o "$ER_DIR" "$@" >&2
+
+echo
+echo "=== top $TOP functions by exclusive CPU time ==="
+gprofng display text -limit "$TOP" -functions "$ER_DIR"

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use chaos::algos::{needs_undirected, needs_weights, with_algo, AlgoParams, ALGO_NAMES};
-use chaos::core::{run_chaos, Backend, ChaosConfig};
+use chaos::core::{run_chaos, Backend, ChaosConfig, Streaming};
 use chaos::graph::{io as graph_io, InputGraph, RmatConfig, WebGraphConfig};
 
 struct Args(Vec<String>);
@@ -68,6 +68,8 @@ CLUSTER OPTIONS:
   --alpha <A>         work-stealing bias (default 1.0; 0 disables, inf always)
   --backend <B>       event-loop backend: seq (default), par, or par:N
                       (results are bit-identical; only wall clock differs)
+  --streaming <S>     scatter streaming: selective (default), reference
+                      (dense oracle, bit-identical report), or dense
   --seed <S>          RNG seed
 
 ALGORITHMS: {}",
@@ -137,6 +139,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     cfg.steal_alpha = args.parsed("--alpha", 1.0f64)?;
     cfg.checkpoint = args.flag("--checkpoint");
     cfg.backend = args.parsed("--backend", Backend::Sequential)?;
+    cfg.streaming = args.parsed("--streaming", Streaming::Selective)?;
     cfg.seed = args.parsed("--seed", cfg.seed)?;
     if args.flag("--hdd") {
         cfg = cfg.with_hdd();
@@ -167,6 +170,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("aggregate bandwidth {:>10.1} MB/s", report.aggregate_bandwidth() / 1e6);
     println!("network traffic     {:>10.1} MB", report.fabric.remote_bytes as f64 / 1e6);
     println!("device utilization  {:>10.1} %", 100.0 * report.mean_device_utilization());
+    if report.chunks_skipped() > 0 || report.compactions() > 0 {
+        println!(
+            "selective streaming {:>10} chunks skipped ({} records); {} compactions dropped {} edges",
+            report.chunks_skipped(),
+            report.records_skipped(),
+            report.compactions(),
+            report.edges_tombstoned(),
+        );
+    }
     if let Some(agg) = report.iteration_aggs.last() {
         println!("final aggregates    updates={} changed={}", agg.updates_produced, agg.vertices_changed);
     }

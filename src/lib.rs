@@ -62,11 +62,12 @@ pub mod prelude {
     pub use chaos_algos::wcc::Wcc;
     pub use chaos_algos::{AlgoParams, ALGO_NAMES};
     pub use chaos_core::{
-        run_chaos, Backend, ChaosConfig, Cluster, FailureSpec, Placement, RunReport,
+        run_chaos, Backend, ChaosConfig, Cluster, FailureSpec, IterSelectivity, Placement,
+        RunReport, Streaming,
     };
     pub use chaos_gas::{
-        run_sequential, Control, Direction, GasProgram, IterationAggregates, PerRecordKernels,
-        UpdateSink,
+        run_sequential, ActiveSet, ActivityModel, Control, Direction, GasProgram,
+        IterationAggregates, PerRecordKernels, UpdateSink,
     };
     pub use chaos_graph::{Edge, InputGraph, RmatConfig, WebGraphConfig};
 }

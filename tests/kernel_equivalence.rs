@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn random_runs_are_kernel_invariant(
         machines in 1usize..5,
-        pick in 0usize..5,
+        pick in 0usize..8,
         scale in 6u32..8,
         chunk_kb in 4u64..17,
         window in 2usize..12,
@@ -54,9 +54,31 @@ proptest! {
             1 => assert_kernels_equivalent(cfg, Wcc::new(), &g_und),
             2 => assert_kernels_equivalent(cfg, Bfs::new(0), &g_und),
             3 => assert_kernels_equivalent(cfg, Spmv::new(2), &g_dir),
+            4 => assert_kernels_equivalent(cfg, Mis::new(seed), &g_und),
+            5 => assert_kernels_equivalent(cfg, BeliefPropagation::new(seed, 3), &g_dir),
+            6 => assert_kernels_equivalent(cfg, Conductance::new(seed), &g_dir),
             _ => assert_kernels_equivalent(cfg, Sssp::new(0), &weighted_graph(400, 600, seed)),
         }
     }
+}
+
+#[test]
+fn scc_backward_sweep_is_kernel_invariant() {
+    // SCC's backward phases stream the destination-keyed edge copy with
+    // `Direction::In`: the batched body reads scatter state from `e.dst`
+    // and emits to `e.src`. FW-BW coloring exercises all four phases
+    // (including the all-inactive BackwardInit and Reset iterations).
+    let g = RmatConfig::paper(7).generate();
+    assert_kernels_equivalent(test_config(3), Scc::new(), &g);
+}
+
+#[test]
+fn mis_rounds_are_kernel_invariant() {
+    // Luby select/notify alternation plus the Shrinking dead-edge scan
+    // (PerRecordKernels pins `dead_edges` to the per-edge loop too, so
+    // compaction decisions must also agree).
+    let g = undirected_graph(7);
+    assert_kernels_equivalent(test_config(3), Mis::new(42), &g);
 }
 
 #[test]
