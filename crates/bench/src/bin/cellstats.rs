@@ -4,12 +4,15 @@
 //! without a full figure sweep.
 //!
 //! ```text
-//! cellstats PR 4 14 [seq|par:N] [selective|reference|dense] [--iters]
+//! cellstats PR 4 14 [seq|par:N] [selective|reference|dense] [--bins N] [--iters]
 //! ```
 //!
-//! `--iters` adds a per-iteration table: active-vertex fraction, chunks
-//! and records skipped, and tombstone/compaction counts — the shape of a
-//! frontier collapsing or a Borůvka contraction eating the edge set.
+//! `--bins N` overrides the clustered-layout bin count (1 = unclustered
+//! arrival-order layout). `--iters` adds a per-iteration table:
+//! active-vertex fraction, chunks and records skipped (split into
+//! empty-frontier and mid-wavefront skips), and tombstone/compaction
+//! counts — the shape of a frontier collapsing or a Borůvka contraction
+//! eating the edge set.
 
 use std::time::Instant;
 
@@ -18,10 +21,18 @@ use chaos_core::{run_chaos, Backend, ChaosConfig, Streaming};
 use chaos_graph::RmatConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let per_iter = args.iter().any(|a| a == "--iters");
-    let args: Vec<&String> = args.iter().filter(|a| *a != "--iters").collect();
-    let algo = args.first().map(|s| s.as_str()).unwrap_or("PR");
+    args.retain(|a| a != "--iters");
+    let mut bins: Option<u32> = None;
+    if let Some(i) = args.iter().position(|a| a == "--bins") {
+        bins = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+            Some(b) if b > 0 => Some(b),
+            _ => panic!("--bins needs a positive integer (1 = unclustered)"),
+        };
+        args.drain(i..=i + 1);
+    }
+    let algo = args.first().map(|s| s.as_str()).unwrap_or("PR").to_string();
     let machines: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let scale: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(14);
     let backend: Backend = args
@@ -33,13 +44,13 @@ fn main() {
         .map(|s| s.parse().expect("bad streaming mode"))
         .unwrap_or(Streaming::Selective);
 
-    let cfg_rmat = if needs_weights(algo) {
+    let cfg_rmat = if needs_weights(&algo) {
         RmatConfig::paper_weighted(scale)
     } else {
         RmatConfig::paper(scale)
     };
     let mut g = cfg_rmat.generate();
-    if needs_undirected(algo) {
+    if needs_undirected(&algo) {
         g = g.to_undirected();
     }
     let mut cfg = ChaosConfig::new(machines);
@@ -47,14 +58,20 @@ fn main() {
     cfg.mem_budget = 256 * 1024;
     cfg.backend = backend;
     cfg.streaming = streaming;
+    if let Some(b) = bins {
+        cfg.cluster_bins = b;
+    }
     let t0 = Instant::now();
     let params = AlgoParams::default();
-    let rep = with_algo!(algo, &params, |p| run_chaos(cfg, p, &g).0);
+    let rep = with_algo!(algo.as_str(), &params, |p| run_chaos(cfg, p, &g).0);
     let wall = t0.elapsed().as_secs_f64();
+    // `cluster_bins` is the run's *effective* layout — dense-activity
+    // programs keep the single-bin arrival order whatever was requested.
     println!(
-        "{algo} m={machines} scale={scale} backend={} streaming={streaming}: wall {:.3}s, \
-         events {}, records {}, iters {}, {:.0} events/s, {:.0} records/s",
+        "{algo} m={machines} scale={scale} backend={} streaming={streaming} bins={}: \
+         wall {:.3}s, events {}, records {}, iters {}, {:.0} events/s, {:.0} records/s",
         rep.backend,
+        rep.cluster_bins,
         wall,
         rep.events,
         rep.records_streamed,
@@ -63,26 +80,63 @@ fn main() {
         rep.records_streamed as f64 / wall,
     );
     let streamed_plus_skipped = rep.records_streamed + rep.records_skipped();
+    let skipped_empty = rep.records_skipped() - rep.records_skipped_mid();
     println!(
-        "selectivity: {} chunks ({} records, {:.1}% of edge+update traffic) skipped; \
+        "selectivity: {} chunks ({} records, {:.1}% of edge+update traffic) skipped \
+         [{} records on empty frontiers, {} mid-wavefront]; \
          {} compactions dropped {} edges",
         rep.chunks_skipped(),
         rep.records_skipped(),
         100.0 * rep.records_skipped() as f64 / streamed_plus_skipped.max(1) as f64,
+        skipped_empty,
+        rep.records_skipped_mid(),
         rep.compactions(),
         rep.edges_tombstoned(),
     );
+    // The layout's direct observable: how narrow the stored chunk windows
+    // are relative to their partition's span.
+    let h = &rep.window_widths;
+    let parts: Vec<String> = chaos_core::WindowHistogram::labels()
+        .iter()
+        .zip(h.buckets.iter())
+        .filter(|(_, &n)| n > 0)
+        .map(|(l, n)| format!("{l}: {n}"))
+        .collect();
+    println!(
+        "window widths ({} indexed chunks{}{}): {}",
+        h.chunks(),
+        if h.empty > 0 {
+            format!(", {} compacted-empty", h.empty)
+        } else {
+            String::new()
+        },
+        if h.unindexed > 0 {
+            format!(", {} unindexed", h.unindexed)
+        } else {
+            String::new()
+        },
+        parts.join(", "),
+    );
     if per_iter {
         println!(
-            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>12}",
-            "iter", "active%", "chunks-skp", "records-skp", "tombstoned", "compactions"
+            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "iter",
+            "active%",
+            "chunks-skp",
+            "records-skp",
+            "skp-empty",
+            "skp-mid",
+            "tombstoned",
+            "compactions"
         );
         for (i, s) in rep.selectivity.iter().enumerate() {
             println!(
-                "{i:>5} {:>7.1}% {:>10} {:>12} {:>12} {:>12}",
+                "{i:>5} {:>7.1}% {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
                 100.0 * s.active_fraction(),
                 s.chunks_skipped,
                 s.records_skipped,
+                s.records_skipped - s.records_skipped_mid,
+                s.records_skipped_mid,
                 s.edges_tombstoned,
                 s.compactions,
             );

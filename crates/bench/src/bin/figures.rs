@@ -18,6 +18,11 @@
 //! bit-identical output — the reference mode is the dense-streaming
 //! oracle that additionally verifies every skipped chunk scatters to
 //! nothing; `bench_smoke.sh` byte-compares across this flag too.
+//!
+//! `--cluster-bins N` overrides the clustered edge layout's bin count
+//! (1 = the unclustered arrival-order layout). Timings and skip counts
+//! legitimately differ across layouts; the figures' "states digest"
+//! lines do not, and `bench_smoke.sh` compares them.
 
 use std::process::ExitCode;
 
@@ -39,6 +44,21 @@ fn main() -> ExitCode {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.drain(i..=i + 1);
+    }
+    let mut cluster_bins: Option<u32> = None;
+    while let Some(i) = args.iter().position(|a| a == "--cluster-bins") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("--cluster-bins needs a positive integer (1 = unclustered)");
+            return ExitCode::FAILURE;
+        };
+        cluster_bins = match spec.parse() {
+            Ok(b) if b > 0 => Some(b),
+            _ => {
+                eprintln!("bad --cluster-bins value {spec:?}");
                 return ExitCode::FAILURE;
             }
         };
@@ -66,7 +86,8 @@ fn main() -> ExitCode {
         .collect();
     let scale = if full { Scale::full() } else { Scale::quick() }
         .with_backend(backend)
-        .with_streaming(streaming);
+        .with_streaming(streaming)
+        .with_cluster_bins(cluster_bins);
 
     match ids.first().copied() {
         None | Some("list") => {

@@ -50,4 +50,9 @@ pub fn run(h: &Harness) {
     // across the selective/reference streaming modes.
     println!("records streamed: {}", h.records_streamed());
     println!("records skipped: {}", h.records_skipped());
+    println!("records skipped mid-wavefront: {}", h.records_skipped_mid());
+    // Layout-invariant fingerprint of every cell's final vertex states:
+    // identical across cluster-bin layouts too (bench_smoke.sh compares
+    // it between the clustered and unclustered runs).
+    println!("states digest: {:016x}", h.states_digest());
 }

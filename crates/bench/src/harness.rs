@@ -32,6 +32,12 @@ pub struct Scale {
     /// skipped chunks host-side to enforce the activity contract), so
     /// `scripts/bench_smoke.sh` byte-compares across this flag too.
     pub streaming: Streaming,
+    /// Clustered-layout bin count override (`None` keeps the config
+    /// default). `Some(1)` is the unclustered arrival-order layout; the
+    /// per-figure "states digest" lines are byte-identical across layouts
+    /// (`bench_smoke.sh` compares them), while timings and skip counts
+    /// legitimately differ.
+    pub cluster_bins: Option<u32>,
 }
 
 impl Scale {
@@ -45,6 +51,7 @@ impl Scale {
             all_algorithms: true,
             backend: Backend::Sequential,
             streaming: Streaming::Selective,
+            cluster_bins: None,
         }
     }
 
@@ -58,6 +65,7 @@ impl Scale {
             all_algorithms: true,
             backend: Backend::Sequential,
             streaming: Streaming::Selective,
+            cluster_bins: None,
         }
     }
 
@@ -70,6 +78,12 @@ impl Scale {
     /// The same sizing with a different streaming mode.
     pub fn with_streaming(mut self, streaming: Streaming) -> Self {
         self.streaming = streaming;
+        self
+    }
+
+    /// The same sizing with a clustered-layout bin override.
+    pub fn with_cluster_bins(mut self, bins: Option<u32>) -> Self {
+        self.cluster_bins = bins;
         self
     }
 }
@@ -90,6 +104,26 @@ pub struct Harness {
     start: Instant,
     records: Cell<u64>,
     skipped: Cell<u64>,
+    skipped_mid: Cell<u64>,
+    digest: Cell<u64>,
+}
+
+/// FNV-1a over the storage encodings of the final vertex states — a
+/// deterministic fingerprint of *what* a run computed, independent of how
+/// the data was laid out or executed. Identical across execution backends,
+/// streaming modes and cluster-bin layouts; `scripts/bench_smoke.sh`
+/// byte-compares the printed digests across layouts.
+pub fn digest_states<S: chaos_gas::Record>(states: &[S]) -> u64 {
+    let mut buf = Vec::new();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in states {
+        buf.clear();
+        s.encode(&mut buf);
+        for &b in &buf {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl Harness {
@@ -103,6 +137,8 @@ impl Harness {
             start: Instant::now(),
             records: Cell::new(0),
             skipped: Cell::new(0),
+            skipped_mid: Cell::new(0),
+            digest: Cell::new(0xcbf2_9ce4_8422_2325),
         }
     }
 
@@ -125,6 +161,19 @@ impl Harness {
     /// decisions).
     pub fn records_skipped(&self) -> u64 {
         self.skipped.get()
+    }
+
+    /// The mid-wavefront share of [`Harness::records_skipped`]: records
+    /// skipped while the partition's frontier was non-empty — the
+    /// clustered layout's direct contribution.
+    pub fn records_skipped_mid(&self) -> u64 {
+        self.skipped_mid.get()
+    }
+
+    /// Combined fingerprint of the final vertex states of every run so
+    /// far (see [`digest_states`]); layout-, backend- and mode-invariant.
+    pub fn states_digest(&self) -> u64 {
+        self.digest.get()
     }
 
     /// RMAT graph at `scale`, shaped for the named algorithm (undirected
@@ -173,14 +222,26 @@ impl Harness {
         cfg.mem_budget = self.scale.mem_budget;
         cfg.backend = self.scale.backend;
         cfg.streaming = self.scale.streaming;
+        if let Some(bins) = self.scale.cluster_bins {
+            cfg.cluster_bins = bins;
+        }
         cfg
     }
 
     /// Runs the named algorithm on `graph` under `cfg`.
     pub fn run(&self, algo: &str, cfg: ChaosConfig, graph: &InputGraph) -> RunReport {
-        let rep = with_algo!(algo, &self.params, |p| run_chaos(cfg, p, graph).0);
+        let (rep, digest) = with_algo!(algo, &self.params, |p| {
+            let (rep, states) = run_chaos(cfg, p, graph);
+            (rep, digest_states(&states))
+        });
         self.records.set(self.records.get() + rep.records_streamed);
         self.skipped.set(self.skipped.get() + rep.records_skipped());
+        self.skipped_mid
+            .set(self.skipped_mid.get() + rep.records_skipped_mid());
+        // Order-sensitive mix of the per-run digests (runs are driven in a
+        // fixed order per experiment).
+        self.digest
+            .set(mix_digest(self.digest.get(), digest));
         rep
     }
 
@@ -194,6 +255,15 @@ impl Harness {
             vec!["BFS", "WCC", "PR", "Cond", "SpMV", "BP"]
         }
     }
+}
+
+/// SplitMix64-style combine of two digests.
+fn mix_digest(a: u64, b: u64) -> u64 {
+    let mut x = a.rotate_left(5) ^ b;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
 }
 
 /// Prints a header for one experiment.

@@ -12,6 +12,7 @@ fn tiny() -> Harness {
         all_algorithms: false,
         backend: chaos_core::Backend::Sequential,
         streaming: chaos_core::Streaming::Selective,
+        cluster_bins: None,
     })
 }
 

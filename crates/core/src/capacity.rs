@@ -112,6 +112,8 @@ mod tests {
             events: 0,
             records_streamed: 0,
             selectivity: vec![],
+            window_widths: Default::default(),
+            cluster_bins: 1,
             backend: crate::config::Backend::Sequential,
             windows: 0,
         }

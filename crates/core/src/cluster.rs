@@ -70,13 +70,18 @@ impl<P: GasProgram> Cluster<P> {
             cfg.mem_budget,
             cfg.machines,
         );
-        let params = Arc::new(RunParams::new(
-            &cfg,
-            spec,
-            sizes.edge_bytes(),
-            update_bytes,
-            vstate,
-        ));
+        // The clustered layout pays only when the run can skip chunks:
+        // a non-dense activity model, decentralized chunk metadata and
+        // the streaming machinery on. Everything else keeps the
+        // single-bin (arrival-order) layout — clustering would only add
+        // partial chunks there.
+        let clustered = cfg.streaming != crate::config::Streaming::Dense
+            && cfg.placement != Placement::Centralized
+            && program.activity() != chaos_gas::ActivityModel::Dense;
+        let params = Arc::new(
+            RunParams::new(&cfg, spec, sizes.edge_bytes(), update_bytes, vstate)
+                .with_cluster_bins(if clustered { cfg.cluster_bins } else { 1 }),
+        );
         let cfg = Arc::new(cfg);
         let mut rng = Rng::new(cfg.seed);
         let fabric = Fabric::new(cfg.fabric.clone());
@@ -200,6 +205,10 @@ impl<P: GasProgram> Cluster<P> {
                 into.absorb(s);
             }
         }
+        let mut window_widths = crate::metrics::WindowHistogram::default();
+        for s in &self.storages {
+            s.accumulate_window_stats(&mut window_widths);
+        }
         RunReport {
             runtime: self.sched.now(),
             preprocess_time: self.coordinator.preprocess_end,
@@ -218,6 +227,8 @@ impl<P: GasProgram> Cluster<P> {
             events: self.sched.delivered(),
             records_streamed: self.computes.iter().map(|c| c.records_processed).sum(),
             selectivity,
+            window_widths,
+            cluster_bins: self.params.cluster.bins(),
             backend: self.cfg.backend,
             windows: self.windows,
         }

@@ -8,59 +8,18 @@
 //! (§6.5). The steal criterion is Equation 2 with the α bias of §10.2.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::hash::BuildHasherDefault;
 use std::sync::Arc;
 
 use chaos_gas::{ActiveSet, ActivityModel, Direction, GasProgram, IterationAggregates, Update, UpdateSink};
 use chaos_graph::{Edge, PartitionSpec, VertexId};
 use chaos_runtime::Actor;
+use chaos_sim::rng::mix2;
 use chaos_sim::{Resource, Rng, Time};
 
 use crate::config::{ChaosConfig, Placement, Streaming};
 use crate::metrics::{Breakdown, IterSelectivity};
 use crate::msg::{DataKind, Msg, PhaseKind, SkipInfo, Work, WriteKind, CONTROL_BYTES};
 use crate::runtime::{Addr, Ctx, RunParams};
-
-/// Deterministic multiply-xorshift hasher (SplitMix64 finalizer) for the
-/// hot preprocessing maps keyed by vertex id. SipHash dominates the
-/// per-edge degree-binning loop; this hasher is a handful of ALU ops and —
-/// unlike `RandomState` — identical across processes. Map iteration order
-/// is still never load-bearing (degree contributions are summed, which is
-/// commutative).
-#[derive(Default)]
-pub(crate) struct VertexHasher(u64);
-
-impl std::hash::Hasher for VertexHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // FNV-1a fallback for non-u64 keys (not used on the hot path).
-        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
-        for &b in bytes {
-            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.0 = h;
-    }
-
-    fn write_u64(&mut self, n: u64) {
-        let mut x = self.0 ^ n;
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-        x ^= x >> 33;
-        self.0 = x;
-    }
-
-    fn write_usize(&mut self, n: usize) {
-        self.write_u64(n as u64);
-    }
-}
-
-/// Hash-map state for vertex-keyed maps on hot paths.
-pub(crate) type VertexHashState = BuildHasherDefault<VertexHasher>;
 
 /// Progress of one partition being streamed (scatter or gather).
 ///
@@ -231,7 +190,13 @@ struct Preprocess<P: GasProgram> {
     inflight_compute: usize,
     edge_bufs: Vec<Vec<Edge>>,
     redge_bufs: Vec<Vec<Edge>>,
-    degree_maps: Vec<HashMap<u64, u32, VertexHashState>>,
+    /// Partial out-degree counts per partition, dense over the
+    /// partition's vertex range (allocated lazily on first touch; an
+    /// empty vector means no edge of that partition seen here). Dense
+    /// indexing beats a hash map on this per-edge path — pre-processing
+    /// touches every edge exactly once and most partitions see most of
+    /// their high-degree sources anyway.
+    degree_counts: Vec<Vec<u32>>,
     degree_acks_pending: usize,
     flushed: bool,
     _marker: std::marker::PhantomData<P>,
@@ -301,6 +266,13 @@ pub struct ComputeEngine<P: GasProgram> {
     pending_getaccums: HashSet<usize>,
     /// Stealers accepted per owned partition, this phase.
     stealers: HashMap<usize, Vec<usize>>,
+    /// Owned partitions whose stream this engine completed this phase.
+    /// Once a master finished a partition, every storage engine is
+    /// exhausted for it (stream-done requires it), so its local
+    /// remaining-bytes — and with it Equation 2's D — is provably zero:
+    /// steal proposals are rejected immediately, without the
+    /// master-to-storage remaining-bytes round trip.
+    finished_parts: HashSet<usize>,
     /// Proposers queued for a remaining-bytes query, per partition.
     steal_queries: HashMap<usize, VecDeque<usize>>,
     /// Whether a RemainingReq is in flight for a partition.
@@ -342,6 +314,9 @@ impl<P: GasProgram> ComputeEngine<P> {
             .collect();
         let m = cfg.machines;
         let cpu = Resource::new(cfg.cores as u64 * 1_000_000_000, 0);
+        // One pre-processing edge buffer per (partition, cluster bin):
+        // bin-pure buffers are what give stored chunks single-bin windows.
+        let nbufs = parts * params.cluster.bins() as usize;
         Self {
             machine,
             params,
@@ -358,9 +333,9 @@ impl<P: GasProgram> ComputeEngine<P> {
                 exhausted_count: 0,
                 dir_exhausted: false,
                 inflight_compute: 0,
-                edge_bufs: (0..parts).map(|_| Vec::new()).collect(),
-                redge_bufs: (0..parts).map(|_| Vec::new()).collect(),
-                degree_maps: (0..parts).map(|_| HashMap::default()).collect(),
+                edge_bufs: (0..nbufs).map(|_| Vec::new()).collect(),
+                redge_bufs: (0..nbufs).map(|_| Vec::new()).collect(),
+                degree_counts: (0..parts).map(|_| Vec::new()).collect(),
                 degree_acks_pending: 0,
                 flushed: false,
                 _marker: std::marker::PhantomData,
@@ -379,6 +354,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             waiting_getaccums: None,
             pending_getaccums: HashSet::new(),
             stealers: HashMap::new(),
+            finished_parts: HashSet::new(),
             steal_queries: HashMap::new(),
             query_inflight: HashSet::new(),
             pending_write_acks: 0,
@@ -656,21 +632,34 @@ impl<P: GasProgram> ComputeEngine<P> {
 
     fn bin_input_chunk(&mut self, ctx: &mut Ctx<P>, data: Arc<Vec<Edge>>) {
         let reverse_too = self.program.uses_reverse_edges();
+        let stride = self.params.spec.stride;
+        let cluster = self.params.cluster;
+        let bins = cluster.bins() as usize;
         for e in data.iter() {
             let p = self.params.spec.partition_of(e.src);
-            *self.pp.degree_maps[p].entry(e.src).or_insert(0) += 1;
-            self.pp.edge_bufs[p].push(*e);
-            if self.pp.edge_bufs[p].len() >= self.params.edges_per_chunk {
+            let dv = &mut self.pp.degree_counts[p];
+            if dv.is_empty() {
+                dv.resize(self.params.spec.len(p) as usize, 0);
+            }
+            dv[(e.src - p as u64 * stride) as usize] += 1;
+            // Buffers are bin-pure: an edge lands in the buffer of its
+            // partition *and* scatter-key sub-range, so every flushed
+            // chunk covers at most one bin of the partition.
+            let slot = p * bins + cluster.bin_of_offset(e.src - p as u64 * stride) as usize;
+            self.pp.edge_bufs[slot].push(*e);
+            if self.pp.edge_bufs[slot].len() >= self.params.edges_per_chunk {
                 // Swap a pre-sized buffer in so the refill never regrows.
-                let buf = &mut self.pp.edge_bufs[p];
+                let buf = &mut self.pp.edge_bufs[slot];
                 let chunk = Arc::new(std::mem::replace(buf, Vec::with_capacity(buf.capacity())));
                 self.write_edges(ctx, p, false, chunk);
             }
             if reverse_too {
                 let rp = self.params.spec.partition_of(e.dst);
-                self.pp.redge_bufs[rp].push(*e);
-                if self.pp.redge_bufs[rp].len() >= self.params.edges_per_chunk {
-                    let buf = &mut self.pp.redge_bufs[rp];
+                let rslot =
+                    rp * bins + cluster.bin_of_offset(e.dst - rp as u64 * stride) as usize;
+                self.pp.redge_bufs[rslot].push(*e);
+                if self.pp.redge_bufs[rslot].len() >= self.params.edges_per_chunk {
+                    let buf = &mut self.pp.redge_bufs[rslot];
                     let chunk =
                         Arc::new(std::mem::replace(buf, Vec::with_capacity(buf.capacity())));
                     self.write_edges(ctx, rp, true, chunk);
@@ -705,9 +694,8 @@ impl<P: GasProgram> ComputeEngine<P> {
             );
             return;
         }
-        let target = self
-            .local_only_target(Some(part))
-            .unwrap_or_else(|| self.rng.below(self.m() as u64) as usize);
+        let key = if reverse { data[0].dst } else { data[0].src };
+        let target = self.edge_write_target(part, reverse, key);
         let bytes = data.len() as u64 * self.params.edge_bytes;
         ctx.send(
             self.machine,
@@ -720,6 +708,26 @@ impl<P: GasProgram> ComputeEngine<P> {
             },
             bytes + CONTROL_BYTES,
         );
+    }
+
+    /// Storage engine an edge chunk of `(part, reverse)` containing `key`
+    /// is written to. Unclustered: uniformly random per chunk (§8).
+    /// Clustered: every writer of a (partition, bin, direction) targets
+    /// the bin's deterministic home engine, so the sub-chunk writes of
+    /// all pre-processing machines consolidate into full chunks there;
+    /// placement stays uniform in aggregate — bins hash over the machines
+    /// — and varies with the run seed like random placement.
+    fn edge_write_target(&mut self, part: usize, reverse: bool, key: VertexId) -> usize {
+        self.local_only_target(Some(part)).unwrap_or_else(|| {
+            let bins = self.params.cluster.bins();
+            if bins > 1 {
+                let bin = self.params.cluster.bin_of(&self.params.spec, part, key);
+                let id = mix2(part as u64, u64::from(bin) * 2 + u64::from(reverse));
+                (mix2(id, self.cfg.seed) % self.m() as u64) as usize
+            } else {
+                self.rng.below(self.m() as u64) as usize
+            }
+        })
     }
 
     fn input_exhausted(&self) -> bool {
@@ -736,24 +744,80 @@ impl<P: GasProgram> ComputeEngine<P> {
         }
         if !self.pp.flushed {
             self.pp.flushed = true;
-            // Flush partial edge buffers.
-            for p in 0..self.params.spec.num_partitions {
-                if !self.pp.edge_bufs[p].is_empty() {
-                    let chunk = Arc::new(std::mem::take(&mut self.pp.edge_bufs[p]));
-                    self.write_edges(ctx, p, false, chunk);
+            // Flush partial edge buffers (one per partition and bin).
+            let bins = self.params.cluster.bins() as usize;
+            if bins > 1 && !self.centralized() {
+                // Clustered layout: the per-bin partials are tiny, so a
+                // message per buffer would multiply pre-processing
+                // traffic by the bin count. Group them by their bin-home
+                // target and ship one batched write per engine; the
+                // storage side merges each element into its open buffer.
+                let mut batches: Vec<Vec<crate::msg::EdgeWrite>> =
+                    (0..self.m()).map(|_| Vec::new()).collect();
+                let edge_bufs = std::mem::take(&mut self.pp.edge_bufs);
+                let redge_bufs = std::mem::take(&mut self.pp.redge_bufs);
+                for (reverse, bufs) in [(false, edge_bufs), (true, redge_bufs)] {
+                    for (slot, buf) in bufs.into_iter().enumerate() {
+                        if buf.is_empty() {
+                            continue;
+                        }
+                        let part = slot / bins;
+                        let key = if reverse { buf[0].dst } else { buf[0].src };
+                        let target = self.edge_write_target(part, reverse, key);
+                        batches[target].push(crate::msg::EdgeWrite {
+                            part,
+                            reverse,
+                            data: Arc::new(buf),
+                        });
+                    }
                 }
-                if !self.pp.redge_bufs[p].is_empty() {
-                    let chunk = Arc::new(std::mem::take(&mut self.pp.redge_bufs[p]));
-                    self.write_edges(ctx, p, true, chunk);
+                for (target, writes) in batches.into_iter().enumerate() {
+                    if writes.is_empty() {
+                        continue;
+                    }
+                    let bytes: u64 = writes
+                        .iter()
+                        .map(|w| w.data.len() as u64)
+                        .sum::<u64>()
+                        * self.params.edge_bytes;
+                    self.pending_write_acks += 1;
+                    ctx.send(
+                        self.machine,
+                        Addr::Storage(target),
+                        Msg::WriteEdgeBatch {
+                            writes,
+                            from: self.machine,
+                        },
+                        bytes + CONTROL_BYTES,
+                    );
+                }
+            } else {
+                for slot in 0..self.pp.edge_bufs.len() {
+                    let p = slot / bins;
+                    if !self.pp.edge_bufs[slot].is_empty() {
+                        let chunk = Arc::new(std::mem::take(&mut self.pp.edge_bufs[slot]));
+                        self.write_edges(ctx, p, false, chunk);
+                    }
+                    if !self.pp.redge_bufs[slot].is_empty() {
+                        let chunk = Arc::new(std::mem::take(&mut self.pp.redge_bufs[slot]));
+                        self.write_edges(ctx, p, true, chunk);
+                    }
                 }
             }
-            // Ship partial degree counts to partition masters.
+            // Ship partial degree counts to partition masters (sparse
+            // pairs, scanned out of the dense per-partition counters).
             for p in 0..self.params.spec.num_partitions {
-                if self.pp.degree_maps[p].is_empty() {
+                if self.pp.degree_counts[p].is_empty() {
                     continue;
                 }
-                let entries: Vec<(u64, u32)> =
-                    std::mem::take(&mut self.pp.degree_maps[p]).into_iter().collect();
+                let base = self.params.spec.range(p).start;
+                let dv = std::mem::take(&mut self.pp.degree_counts[p]);
+                let entries: Vec<(u64, u32)> = dv
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(off, &c)| (base + off as u64, c))
+                    .collect();
                 let bytes = entries.len() as u64 * 12 + CONTROL_BYTES;
                 self.pp.degree_acks_pending += 1;
                 ctx.send(
@@ -881,6 +945,7 @@ impl<P: GasProgram> ComputeEngine<P> {
         self.own_queue.clear();
         self.own_queue.extend(self.my_parts.iter().copied());
         self.stealers.clear();
+        self.finished_parts.clear();
         self.steal_queries.clear();
         self.query_inflight.clear();
         self.pending_getaccums.clear();
@@ -1168,6 +1233,12 @@ impl<P: GasProgram> ComputeEngine<P> {
         };
         self.agg.updates_produced += produced;
         w.inflight_compute -= 1;
+        if self.activity_on() {
+            // The live side of the skip account: what actually streamed
+            // (feeds the steal criterion's density correction).
+            let n = data.len() as u64;
+            self.sel_mut().edge_records_streamed += n;
+        }
         let mut k = 0;
         while k < self.flush_scratch.len() {
             let tp = self.flush_scratch[k];
@@ -1250,6 +1321,7 @@ impl<P: GasProgram> ComputeEngine<P> {
         if skipped.chunks == 0 {
             return;
         }
+        let mid;
         {
             let Some(w) = self.work.as_ref() else {
                 return;
@@ -1257,6 +1329,11 @@ impl<P: GasProgram> ComputeEngine<P> {
             if w.part != part {
                 return;
             }
+            // A skip is "mid-wavefront" when the partition's frontier was
+            // non-empty — the narrow-window/stride-summary case the
+            // clustered layout exists for; with an empty frontier every
+            // chunk skips regardless of layout.
+            mid = w.active.as_ref().is_some_and(|a| !a.none_active());
             let base = self.params.spec.range(part).start;
             for chunk in &skipped.oracle {
                 let mut sink = CountSink(0);
@@ -1276,6 +1353,10 @@ impl<P: GasProgram> ComputeEngine<P> {
         let sel = self.sel_mut();
         sel.chunks_skipped += skipped.chunks as u64;
         sel.records_skipped += skipped.records;
+        if mid {
+            sel.chunks_skipped_mid += skipped.chunks as u64;
+            sel.records_skipped_mid += skipped.records;
+        }
     }
 
     fn gather_chunk(&mut self, ctx: &mut Ctx<P>, part: usize, data: Arc<Vec<Update<P::Update>>>) {
@@ -1352,6 +1433,12 @@ impl<P: GasProgram> ComputeEngine<P> {
         let _ = centralized;
         let part = w.part;
         let stolen = w.stolen;
+        if !stolen {
+            // Every engine is exhausted for this partition now, so its
+            // remaining bytes are zero: later steal proposals can be
+            // rejected without asking storage.
+            self.finished_parts.insert(part);
+        }
         match self.phase {
             PhaseKind::Scatter => {
                 // Flush partial update buffers, then the partition is done.
@@ -1510,8 +1597,14 @@ impl<P: GasProgram> ComputeEngine<P> {
     // ------------------------------------------------------------------
 
     fn on_steal_propose(&mut self, ctx: &mut Ctx<P>, part: usize, phase: PhaseKind, from: usize) {
-        if phase != self.phase || self.params.master(part) != self.machine {
-            // Stale proposal from a phase we already left.
+        if phase != self.phase
+            || self.params.master(part) != self.machine
+            || self.finished_parts.contains(&part)
+        {
+            // Stale proposal from a phase we already left, or a partition
+            // whose stream we already finished — in both cases Equation 2
+            // evaluates with D = 0 and must reject, so skip the
+            // remaining-bytes round trip.
             ctx.send(
                 self.machine,
                 Addr::Compute(from),
@@ -1563,7 +1656,21 @@ impl<P: GasProgram> ComputeEngine<P> {
         let Some(proposer) = q.pop_front() else {
             return;
         };
-        let d = (local_bytes * self.m() as u64) as f64;
+        let mut d = (local_bytes * self.m() as u64) as f64;
+        // Selectivity-aware steal criterion: `bytes_remaining` counts
+        // *stored* bytes, but under selective streaming only the live
+        // fraction of them becomes work — the rest is consumed unread.
+        // Scale D by this engine's observed live fraction for the current
+        // scatter iteration so stealers stop chasing work that will be
+        // skipped (a fully-skipped remainder offers D = 0 and is never
+        // handed out). Deterministic and identical in the reference mode,
+        // which makes the same skip decisions.
+        if self.phase == PhaseKind::Scatter && self.activity_on() {
+            d *= self
+                .selectivity
+                .get(self.iter as usize)
+                .map_or(1.0, IterSelectivity::live_fraction);
+        }
         let v = self.params.vertex_part_bytes(part) as f64;
         let h = 1.0 + self.stealers.get(&part).map(Vec::len).unwrap_or(0) as f64;
         let alpha = self.cfg.steal_alpha;
@@ -1748,6 +1855,7 @@ impl<P: GasProgram> ComputeEngine<P> {
         self.waiting_getaccums = None;
         self.pending_getaccums.clear();
         self.stealers.clear();
+        self.finished_parts.clear();
         self.steal_queries.clear();
         self.query_inflight.clear();
         self.pending_write_acks = 0;
@@ -2039,16 +2147,24 @@ fn pick_engine(
         // eligible engine (its device queue serializes them).
         return (!exhausted[l]).then_some(l);
     }
-    let eligible: Vec<usize> = (0..requested.len())
+    // Uniform pick without materializing the candidate list (this runs
+    // once per chunk request): count the eligible engines, then draw an
+    // index and scan to it. Same distribution and rng consumption as
+    // indexing into a collected Vec.
+    let idle = (0..requested.len())
         .filter(|&e| requested[e] == 0 && !exhausted[e])
-        .collect();
-    if !eligible.is_empty() {
-        return Some(eligible[rng.below(eligible.len() as u64) as usize]);
+        .count();
+    if idle > 0 {
+        let k = rng.below(idle as u64) as usize;
+        return (0..requested.len())
+            .filter(|&e| requested[e] == 0 && !exhausted[e])
+            .nth(k);
     }
     if oversubscribe {
-        let fallback: Vec<usize> = (0..exhausted.len()).filter(|&e| !exhausted[e]).collect();
-        if !fallback.is_empty() {
-            return Some(fallback[rng.below(fallback.len() as u64) as usize]);
+        let live = exhausted.iter().filter(|&&x| !x).count();
+        if live > 0 {
+            let k = rng.below(live as u64) as usize;
+            return (0..exhausted.len()).filter(|&e| !exhausted[e]).nth(k);
         }
     }
     None
@@ -2206,6 +2322,116 @@ mod tests {
                 0,
                 "gather chunks never allocate, warm or cold"
             );
+        }
+    }
+
+    /// The selectivity-aware steal criterion: Equation 2's D is the
+    /// stored remaining bytes scaled by this engine's observed live
+    /// fraction for the current scatter iteration.
+    mod steal_scaling {
+        use std::sync::Arc;
+
+        use chaos_gas::{ActivityModel, Control, GasProgram, IterationAggregates};
+        use chaos_graph::{Edge, PartitionSpec, VertexId};
+        use chaos_sim::Rng;
+
+        use crate::compute_engine::ComputeEngine;
+        use crate::config::ChaosConfig;
+        use crate::metrics::IterSelectivity;
+        use crate::msg::PhaseKind;
+        use crate::runtime::{Ctx, RunParams};
+
+        /// Frontier program that never scatters (only the activity model
+        /// matters here).
+        #[derive(Clone)]
+        struct Sparse;
+
+        impl GasProgram for Sparse {
+            type VertexState = u64;
+            type Update = u64;
+            type Accum = u64;
+
+            fn name(&self) -> &'static str {
+                "Sparse"
+            }
+
+            fn init(&self, v: VertexId, _d: u64) -> u64 {
+                v
+            }
+
+            fn scatter(&self, _v: VertexId, _s: &u64, _e: &Edge, _i: u32) -> Option<u64> {
+                None
+            }
+
+            fn gather(&self, _acc: &mut u64, _dst: VertexId, _s: &u64, _p: &u64) {}
+
+            fn merge(&self, _into: &mut u64, _from: &u64) {}
+
+            fn apply(&self, _v: VertexId, _s: &mut u64, _a: &u64, _i: u32) -> bool {
+                false
+            }
+
+            fn end_iteration(&mut self, _i: u32, _a: &IterationAggregates) -> Control {
+                Control::Done
+            }
+
+            fn activity(&self) -> ActivityModel {
+                ActivityModel::Frontier
+            }
+
+            fn is_active(&self, _v: VertexId, _s: &u64, _i: u32) -> bool {
+                false
+            }
+        }
+
+        fn scatter_master() -> ComputeEngine<Sparse> {
+            let cfg = Arc::new(ChaosConfig::new(2));
+            let spec = PartitionSpec::with_partitions(256, 4);
+            let params = Arc::new(RunParams::new(&cfg, spec, 20, 16, 8));
+            let mut eng = ComputeEngine::new(0, cfg, params, Sparse, Rng::new(1));
+            eng.phase = PhaseKind::Scatter;
+            eng.steal_queries.entry(0).or_default().push_back(1);
+            eng
+        }
+
+        #[test]
+        fn fully_skipped_remainder_is_never_handed_out() {
+            let mut eng = scatter_master();
+            // Everything observed this iteration was skipped unread:
+            // D scales to zero, so plentiful stored bytes still reject.
+            eng.selectivity = vec![IterSelectivity {
+                records_skipped: 10_000,
+                ..Default::default()
+            }];
+            let mut ctx = Ctx::new(0, 0);
+            eng.on_remaining(&mut ctx, 0, 1 << 20);
+            assert!(
+                eng.stealers.get(&0).is_none_or(Vec::is_empty),
+                "a fully-skippable remainder offers no work"
+            );
+        }
+
+        #[test]
+        fn live_stream_still_accepts() {
+            let mut eng = scatter_master();
+            // Same stored bytes, but the stream is observed fully live:
+            // V + D/2 < D holds and the proposal is accepted.
+            eng.selectivity = vec![IterSelectivity {
+                edge_records_streamed: 10_000,
+                ..Default::default()
+            }];
+            let mut ctx = Ctx::new(0, 0);
+            eng.on_remaining(&mut ctx, 0, 1 << 20);
+            assert_eq!(eng.stealers.get(&0).map(Vec::len), Some(1));
+        }
+
+        #[test]
+        fn unobserved_iteration_defaults_to_dense() {
+            let mut eng = scatter_master();
+            // No selectivity account yet: live fraction defaults to 1.
+            let mut ctx = Ctx::new(0, 0);
+            eng.on_remaining(&mut ctx, 0, 1 << 20);
+            assert_eq!(eng.stealers.get(&0).map(Vec::len), Some(1));
         }
     }
 

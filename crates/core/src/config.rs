@@ -192,6 +192,18 @@ pub struct ChaosConfig {
     /// compaction under [`chaos_gas::ActivityModel::Shrinking`]. Values
     /// above 1.0 disable compaction.
     pub compact_threshold: f64,
+    /// Source-clustered edge layout: radix bins per partition at
+    /// pre-processing time. Each partition's edges are binned by scatter
+    /// key (src, or dst for the reverse copy) into this many consecutive
+    /// key sub-ranges before chunking, so each stored chunk's scatter-key
+    /// window covers ~1/bins of the partition instead of all of it — the
+    /// narrow, disjoint windows that let selective streaming skip chunks
+    /// mid-wavefront, not just on empty frontiers. `1` is the unclustered
+    /// (arrival-order) layout. Only layout changes: computed results are
+    /// identical for any value. Programs with a dense activity model (and
+    /// runs with streaming/placement modes that cannot skip) keep the
+    /// single-bin layout regardless, since clustering buys them nothing.
+    pub cluster_bins: u32,
     /// RNG seed; a run is a pure function of (config, program, graph).
     pub seed: u64,
 }
@@ -225,8 +237,15 @@ impl ChaosConfig {
             backend: Backend::Sequential,
             streaming: Streaming::Selective,
             compact_threshold: 0.5,
+            cluster_bins: 16,
             seed: 0xC4A05,
         }
+    }
+
+    /// Switches the clustered-layout bin count (`1` = unclustered).
+    pub fn with_cluster_bins(mut self, bins: u32) -> Self {
+        self.cluster_bins = bins;
+        self
     }
 
     /// Switches the streaming mode.
@@ -300,6 +319,12 @@ impl ChaosConfig {
         if self.compact_threshold.is_nan() || self.compact_threshold <= 0.0 {
             return Err("compaction threshold must be positive (above 1.0 disables)".into());
         }
+        if self.cluster_bins == 0 {
+            return Err("cluster bins must be at least 1 (1 = unclustered layout)".into());
+        }
+        if self.cluster_bins > 4096 {
+            return Err("more than 4096 bins per partition defeats chunking".into());
+        }
         Ok(())
     }
 }
@@ -370,6 +395,18 @@ mod tests {
         assert!(c.validate().is_ok());
         c.compact_threshold = 0.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cluster_bins_validated() {
+        assert_eq!(ChaosConfig::new(2).cluster_bins, 16, "clustered by default");
+        let c = ChaosConfig::new(2).with_cluster_bins(1);
+        assert!(c.validate().is_ok(), "1 bin = unclustered layout");
+        assert!(ChaosConfig::new(2).with_cluster_bins(0).validate().is_err());
+        assert!(ChaosConfig::new(2)
+            .with_cluster_bins(8192)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -66,5 +66,5 @@ pub use chaos_runtime::{
 };
 pub use cluster::{run_chaos, Cluster};
 pub use config::{Backend, ChaosConfig, FailureSpec, Placement, Streaming};
-pub use metrics::{Breakdown, IterSelectivity, RunReport};
+pub use metrics::{Breakdown, IterSelectivity, RunReport, WindowHistogram};
 pub use runtime::{Addr, ChaosActor, ClusterExecutor, ClusterScheduler, ClusterTopology, RunParams};

@@ -74,6 +74,19 @@ pub struct IterSelectivity {
     pub chunks_skipped: u64,
     /// Records in those chunks.
     pub records_skipped: u64,
+    /// The subset of [`IterSelectivity::chunks_skipped`] consumed while
+    /// the partition's frontier was *non-empty* — mid-wavefront skips,
+    /// possible only because the clustered layout keeps chunk windows
+    /// narrow (an arrival-order layout skips almost exclusively when the
+    /// whole partition is inactive).
+    pub chunks_skipped_mid: u64,
+    /// Records in the mid-wavefront skipped chunks.
+    pub records_skipped_mid: u64,
+    /// Edge records actually streamed through scatter kernels while
+    /// activity tracking was on (the denominator's live share; the
+    /// selectivity-aware steal criterion scales remaining-bytes estimates
+    /// by `streamed / (streamed + skipped)`).
+    pub edge_records_streamed: u64,
     /// Edges dropped from storage by in-place chunk compaction.
     pub edges_tombstoned: u64,
     /// Chunk compactions performed.
@@ -87,8 +100,23 @@ impl IterSelectivity {
         self.total_vertices += o.total_vertices;
         self.chunks_skipped += o.chunks_skipped;
         self.records_skipped += o.records_skipped;
+        self.chunks_skipped_mid += o.chunks_skipped_mid;
+        self.records_skipped_mid += o.records_skipped_mid;
+        self.edge_records_streamed += o.edge_records_streamed;
         self.edges_tombstoned += o.edges_tombstoned;
         self.compactions += o.compactions;
+    }
+
+    /// The fraction of scatter-side edge records that survived the
+    /// activity filter on this account (`1.0` when nothing was observed) —
+    /// the steal criterion's density correction.
+    pub fn live_fraction(&self) -> f64 {
+        let seen = self.edge_records_streamed + self.records_skipped;
+        if seen == 0 {
+            1.0
+        } else {
+            self.edge_records_streamed as f64 / seen as f64
+        }
     }
 
     /// Fraction of covered vertices that were active (1.0 when nothing
@@ -99,6 +127,49 @@ impl IterSelectivity {
         } else {
             self.active_vertices as f64 / self.total_vertices as f64
         }
+    }
+}
+
+/// Histogram of edge-chunk window widths relative to their partition's
+/// vertex span, collected from every storage engine's (forward and
+/// reverse) edge chunk sets at the end of a run — the direct observable of
+/// the clustered layout: arrival-order layouts pile up in the widest
+/// bucket, source-binned layouts in the narrow ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowHistogram {
+    /// Chunk counts by `width / partition_span` ratio; bucket `i` holds
+    /// ratios in `(2^-(7-i), 2^-(6-i)]`, i.e. buckets for ≤1/128, 1/64,
+    /// 1/32, 1/16, 1/8, 1/4, 1/2 and 1.
+    pub buckets: [u64; 8],
+    /// Chunks compacted down to nothing (inverted always-skip window).
+    pub empty: u64,
+    /// Chunks without a scatter-key index.
+    pub unindexed: u64,
+}
+
+impl WindowHistogram {
+    /// Records one chunk whose window covers `width` of a `span`-vertex
+    /// partition.
+    pub fn record(&mut self, width: u64, span: u64) {
+        let span = span.max(1);
+        // Smallest bucket whose ratio bound covers width/span.
+        let mut b = self.buckets.len() - 1;
+        while b > 0 && width * (1u64 << (7 - (b - 1))) <= span {
+            b -= 1;
+        }
+        self.buckets[b] += 1;
+    }
+
+    /// Total indexed, non-empty chunks recorded.
+    pub fn chunks(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The bucket labels, aligned with [`WindowHistogram::buckets`].
+    pub fn labels() -> [&'static str; 8] {
+        [
+            "<=1/128", "<=1/64", "<=1/32", "<=1/16", "<=1/8", "<=1/4", "<=1/2", "<=1",
+        ]
     }
 }
 
@@ -144,6 +215,16 @@ pub struct RunReport {
     /// Per-iteration selective-streaming account, summed over machines
     /// (all zeros under [`crate::config::Streaming::Dense`]).
     pub selectivity: Vec<IterSelectivity>,
+    /// End-of-run edge-chunk window-width histogram across all storage
+    /// engines (a simulated-layout quantity: identical across backends and
+    /// between selective/reference streaming).
+    pub window_widths: WindowHistogram,
+    /// The *effective* clustered-layout bin count of the run: the
+    /// configured [`crate::config::ChaosConfig::cluster_bins`], or 1 when
+    /// the run cannot skip chunks anyway (dense activity model, dense
+    /// streaming, centralized placement) and keeps the arrival-order
+    /// layout.
+    pub cluster_bins: u32,
     /// Execution backend that drove the run (provenance; does not affect
     /// any simulated quantity).
     pub backend: crate::config::Backend,
@@ -198,6 +279,17 @@ impl RunReport {
         self.selectivity.iter().map(|s| s.chunks_skipped).sum()
     }
 
+    /// Edge records skipped while the partition's frontier was non-empty
+    /// (mid-wavefront skips — the clustered layout's contribution).
+    pub fn records_skipped_mid(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.records_skipped_mid).sum()
+    }
+
+    /// Edge chunks skipped mid-wavefront.
+    pub fn chunks_skipped_mid(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.chunks_skipped_mid).sum()
+    }
+
     /// Total edges dropped from storage by compaction.
     pub fn edges_tombstoned(&self) -> u64 {
         self.selectivity.iter().map(|s| s.edges_tombstoned).sum()
@@ -239,6 +331,28 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn window_histogram_buckets_by_ratio() {
+        let mut h = WindowHistogram::default();
+        h.record(1, 128); // 1/128 -> narrowest
+        h.record(2, 128); // 1/64
+        h.record(64, 128); // 1/2
+        h.record(128, 128); // full span
+        h.record(100, 128); // (1/2, 1] -> widest
+        assert_eq!(h.buckets, [1, 1, 0, 0, 0, 0, 1, 2]);
+        assert_eq!(h.chunks(), 5);
+        assert_eq!(WindowHistogram::labels().len(), h.buckets.len());
+    }
+
+    #[test]
+    fn live_fraction_defaults_dense() {
+        let mut s = IterSelectivity::default();
+        assert_eq!(s.live_fraction(), 1.0, "nothing observed = dense");
+        s.edge_records_streamed = 30;
+        s.records_skipped = 70;
+        assert!((s.live_fraction() - 0.3).abs() < 1e-12);
+    }
 
     #[test]
     fn breakdown_fractions_sum() {

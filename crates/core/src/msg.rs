@@ -39,6 +39,16 @@ impl SkipInfo {
 /// Wire size charged for a control message (request, ack, proposal, ...).
 pub const CONTROL_BYTES: u64 = 64;
 
+/// One bin-pure partial edge chunk inside a [`Msg::WriteEdgeBatch`].
+pub struct EdgeWrite {
+    /// Partition the edges belong to.
+    pub part: usize,
+    /// Whether the chunk belongs to the destination-keyed copy.
+    pub reverse: bool,
+    /// The edges (all from one cluster bin of `part`).
+    pub data: Arc<Vec<Edge>>,
+}
+
 /// Which engine phase a message refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhaseKind {
@@ -168,6 +178,19 @@ pub enum Msg<P: GasProgram> {
         /// Edge records.
         data: Arc<Vec<Edge>>,
         /// Writing machine (for the ack).
+        from: usize,
+    },
+    /// Store a batch of partial edge chunks (end of pre-processing, under
+    /// the clustered layout). Each element is bin-pure; the storage
+    /// engine merges them into its open per-(partition, bin) buffers.
+    /// One message per (writer, target) pair instead of one per buffer —
+    /// the per-bin partials are tiny and would otherwise multiply
+    /// pre-processing traffic by the bin count. Wire-charged at the sum
+    /// of the payloads.
+    WriteEdgeBatch {
+        /// The partial chunks.
+        writes: Vec<EdgeWrite>,
+        /// Writing machine (for the single ack).
         from: usize,
     },
     /// Store an update chunk (scatter).
@@ -443,6 +466,7 @@ impl<P: GasProgram> std::fmt::Debug for Msg<P> {
             Msg::VertexChunkReq { .. } => "VertexChunkReq",
             Msg::VertexChunkResp { .. } => "VertexChunkResp",
             Msg::WriteEdgeChunk { .. } => "WriteEdgeChunk",
+            Msg::WriteEdgeBatch { .. } => "WriteEdgeBatch",
             Msg::ReplaceEdgeChunk { .. } => "ReplaceEdgeChunk",
             Msg::WriteUpdateChunk { .. } => "WriteUpdateChunk",
             Msg::WriteVertexChunk { .. } => "WriteVertexChunk",

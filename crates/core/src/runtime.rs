@@ -7,7 +7,7 @@
 //! run-wide derived parameters ([`RunParams`]).
 
 use chaos_gas::GasProgram;
-use chaos_graph::PartitionSpec;
+use chaos_graph::{BinSpec, PartitionSpec};
 use chaos_runtime::Topology;
 use chaos_sim::rng::mix2;
 
@@ -132,6 +132,12 @@ pub struct RunParams {
     pub placement: Placement,
     /// How the scatter phase consumes edge chunks.
     pub streaming: Streaming,
+    /// Clustered-layout bin geometry: how pre-processing sub-bins each
+    /// partition's edges by scatter key before chunking. Single-bin when
+    /// the run cannot skip chunks anyway (dense activity model, dense
+    /// streaming, centralized placement); see
+    /// [`crate::config::ChaosConfig::cluster_bins`].
+    pub cluster: BinSpec,
 }
 
 impl RunParams {
@@ -146,6 +152,7 @@ impl RunParams {
         let cb = cfg.chunk_bytes;
         Self {
             machines: cfg.machines,
+            cluster: BinSpec::single(&spec),
             spec,
             edge_bytes,
             update_bytes,
@@ -157,6 +164,14 @@ impl RunParams {
             placement: cfg.placement,
             streaming: cfg.streaming,
         }
+    }
+
+    /// Enables the source-clustered edge layout with `bins` sub-ranges per
+    /// partition (the builder default is the single-bin, unclustered
+    /// layout — [`crate::Cluster`] opts in when the run can profit).
+    pub fn with_cluster_bins(mut self, bins: u32) -> Self {
+        self.cluster = BinSpec::new(&self.spec, bins);
+        self
     }
 
     /// Master machine of a partition (round-robin assignment).

@@ -21,35 +21,27 @@ use chaos_gas::{GasProgram, Update};
 use chaos_graph::Edge;
 use chaos_runtime::Actor;
 use chaos_sim::Time;
-use chaos_storage::{ChunkSet, Device, PageCache, VertexArray};
+use chaos_storage::{ChunkIndex, ChunkSet, Device, PageCache, VertexArray};
 
 use chaos_storage::FileBacking;
 
 use crate::config::Streaming;
+use crate::metrics::WindowHistogram;
 use crate::msg::{DataKind, Msg, SkipInfo, WriteKind, CONTROL_BYTES};
 use crate::runtime::{Addr, Ctx, RunParams};
 
-/// Inclusive scatter-key window of an edge chunk: the source-range index
-/// selective streaming tests active sets against. Forward chunks key on
-/// `src`, destination-keyed (reverse) chunks on `dst` — whichever endpoint
-/// supplies scatter state when the chunk streams. An empty chunk yields
-/// the canonical inverted window `(u64::MAX, 0)`, skippable under any
-/// active set.
-fn edge_window(data: &[Edge], reverse: bool) -> (u64, u64) {
-    let mut lo = u64::MAX;
-    let mut hi = 0u64;
+/// Scatter-key index of an edge chunk: the inclusive key window plus the
+/// stride-occupancy summary selective streaming tests active sets against.
+/// Forward chunks key on `src`, destination-keyed (reverse) chunks on
+/// `dst` — whichever endpoint supplies scatter state when the chunk
+/// streams. An empty chunk yields the canonical inverted window,
+/// skippable under any active set.
+fn edge_index(data: &[Edge], reverse: bool) -> ChunkIndex {
     if reverse {
-        for e in data {
-            lo = lo.min(e.dst);
-            hi = hi.max(e.dst);
-        }
+        ChunkIndex::from_keys(data.iter().map(|e| e.dst))
     } else {
-        for e in data {
-            lo = lo.min(e.src);
-            hi = hi.max(e.src);
-        }
+        ChunkIndex::from_keys(data.iter().map(|e| e.src))
     }
-    (lo, hi)
 }
 
 /// Opens the backing file for one (structure, partition) pair.
@@ -73,6 +65,18 @@ pub struct StorageEngine<P: GasProgram> {
     input: ChunkSet<Edge>,
     edges: Vec<ChunkSet<Edge>>,
     redges: Vec<ChunkSet<Edge>>,
+    /// Open per-(partition, bin) accumulation buffers of the clustered
+    /// layout (slot = `part * bins + bin`), one pair for the forward and
+    /// reverse copies. Writers of one bin all target this engine (the
+    /// bin's deterministic home), so sub-chunk writes from different
+    /// pre-processing machines consolidate here into full-size, bin-pure
+    /// chunks instead of each leaving a partial — without this the
+    /// partial-chunk count would scale with machines × partitions × bins.
+    /// Sealed (flushed into the chunk sets) lazily at the first edge read
+    /// or remaining-bytes query; empty and unused when `bins == 1`.
+    open_edges: Vec<Vec<Edge>>,
+    open_redges: Vec<Vec<Edge>>,
+    sealed: bool,
     updates: Vec<ChunkSet<Update<P::Update>>>,
     vertices: Vec<VertexArray<P::VertexState>>,
     ckpt_pending: Vec<VertexArray<P::VertexState>>,
@@ -106,6 +110,7 @@ impl<P: GasProgram> StorageEngine<P> {
                 None => ChunkSet::in_memory(params.edge_bytes),
             }
         };
+        let slots = parts * params.cluster.bins() as usize;
         Self {
             machine,
             gen: 0,
@@ -114,6 +119,9 @@ impl<P: GasProgram> StorageEngine<P> {
             input: make_edges("input", 0),
             edges: (0..parts).map(|p| make_edges("edges", p)).collect(),
             redges: (0..parts).map(|p| make_edges("redges", p)).collect(),
+            open_edges: (0..slots).map(|_| Vec::new()).collect(),
+            open_redges: (0..slots).map(|_| Vec::new()).collect(),
+            sealed: params.cluster.bins() == 1,
             updates: (0..parts)
                 .map(|p| match &dir {
                     Some(d) => ChunkSet::file_backed(
@@ -159,15 +167,35 @@ impl<P: GasProgram> StorageEngine<P> {
         self.ckpt_committed[part].get(chunk_no)
     }
 
-    /// Total edge bytes stored here (post-pre-processing accounting).
-    pub fn edge_bytes_stored(&self) -> u64 {
-        self.edges.iter().map(|c| c.stats().bytes).sum()
+    /// Folds this engine's edge-chunk window widths (forward and reverse
+    /// sets) into `h`, each relative to its partition's vertex span.
+    pub fn accumulate_window_stats(&self, h: &mut WindowHistogram) {
+        for sets in [&self.edges, &self.redges] {
+            for (part, set) in sets.iter().enumerate() {
+                let span = self.params.spec.len(part);
+                for ix in set.indexes() {
+                    match ix {
+                        None => h.unindexed += 1,
+                        Some(ix) => match ix.width() {
+                            None => h.empty += 1,
+                            Some(w) => h.record(w, span),
+                        },
+                    }
+                }
+            }
+        }
     }
 
     /// Stores an edge chunk: appends it (`entry: None`) or replaces an
     /// existing entry in place (compaction), computing the scatter-key
-    /// window index either way, charging one device write of the chunk's
-    /// bytes, and acking `WriteKind::Edges`.
+    /// index either way, charging one device write of the chunk's bytes,
+    /// and acking `WriteKind::Edges`.
+    ///
+    /// Under the clustered layout (`bins > 1`) appends route through the
+    /// open per-(partition, bin) buffer instead: incoming bin-pure
+    /// sub-chunks from every pre-processing machine accumulate there and
+    /// are cut into full-size chunks, leaving at most one partial chunk
+    /// per bin engine-wide when the buffers are sealed.
     fn store_edge_chunk(
         &mut self,
         ctx: &mut Ctx<P>,
@@ -179,18 +207,23 @@ impl<P: GasProgram> StorageEngine<P> {
     ) {
         let now = ctx.now;
         let bytes = data.len() as u64 * self.params.edge_bytes;
-        let window = edge_window(&data, reverse);
-        let set = if reverse {
-            &mut self.redges[part]
+        let bins = self.params.cluster.bins();
+        if entry.is_none() && bins > 1 && !data.is_empty() {
+            self.merge_edge_write(part, reverse, data);
         } else {
-            &mut self.edges[part]
-        };
-        match entry {
-            None => {
-                set.append_windowed(data, Some(window)).expect("mem io");
-            }
-            Some(e) => {
-                set.replace(e, data, Some(window)).expect("mem io");
+            let index = edge_index(&data, reverse);
+            let set = if reverse {
+                &mut self.redges[part]
+            } else {
+                &mut self.edges[part]
+            };
+            match entry {
+                None => {
+                    set.append_indexed(data, Some(index)).expect("mem io");
+                }
+                Some(e) => {
+                    set.replace(e, data, Some(index)).expect("mem io");
+                }
             }
         }
         let done = self.device.write(now, bytes);
@@ -203,6 +236,106 @@ impl<P: GasProgram> StorageEngine<P> {
             },
             CONTROL_BYTES,
         );
+    }
+
+    /// Consolidates one bin-pure edge write into the open per-(partition,
+    /// bin) buffer, cutting full-size chunks off as it fills. Every chunk
+    /// cut here is single-bin by construction — the narrow-window
+    /// invariant of the clustered layout (debug-asserted below).
+    fn merge_edge_write(&mut self, part: usize, reverse: bool, data: Arc<Vec<Edge>>) {
+        debug_assert!(!self.sealed, "edge appends happen only before the first read");
+        let bins = self.params.cluster.bins();
+        let key = |e: &Edge| if reverse { e.dst } else { e.src };
+        let bin = self
+            .params
+            .cluster
+            .bin_of(&self.params.spec, part, key(&data[0]));
+        debug_assert!(
+            data.iter()
+                .all(|e| self.params.cluster.bin_of(&self.params.spec, part, key(e)) == bin),
+            "writer sent a bin-impure edge chunk for partition {part}"
+        );
+        let slot = part * bins as usize + bin as usize;
+        let epc = self.params.edges_per_chunk;
+        let (buf, set) = if reverse {
+            (&mut self.open_redges[slot], &mut self.redges[part])
+        } else {
+            (&mut self.open_edges[slot], &mut self.edges[part])
+        };
+        if buf.is_empty() && data.len() == epc {
+            // Fast path for the common case: writers cut their mid-stream
+            // flushes at exactly the chunk size, so a full bin-pure chunk
+            // arriving on an empty buffer is already a storage chunk —
+            // append the shared payload as-is instead of copying the
+            // whole edge set through the open buffers. Only the tiny
+            // end-of-pre-processing partials take the merge path below.
+            let index = edge_index(&data, reverse);
+            set.append_indexed(data, Some(index)).expect("edge chunk io");
+            return;
+        }
+        buf.extend(data.iter().copied());
+        while buf.len() >= epc {
+            // Cut the front `epc` records off without shifting the whole
+            // tail: split the tail into a fresh buffer and hand the front
+            // allocation to the chunk set.
+            let rest = buf.split_off(epc);
+            let chunk = std::mem::replace(buf, rest);
+            let index = edge_index(&chunk, reverse);
+            debug_assert!(
+                self.params.cluster.bin_of(&self.params.spec, part, index.lo)
+                    == self.params.cluster.bin_of(&self.params.spec, part, index.hi),
+                "cut chunk of partition {part} spans multiple cluster bins"
+            );
+            set.append_indexed(Arc::new(chunk), Some(index))
+                .expect("edge chunk io");
+        }
+    }
+
+    /// Seals the clustered layout. Idempotent; called lazily at the first
+    /// edge read or remaining-bytes query, which is necessarily after
+    /// pre-processing finished (the barrier orders all edge writes before
+    /// the first scatter).
+    ///
+    /// Rather than emitting one partial chunk per open buffer (which
+    /// would add ~bins partial chunks per partition and tax every dense
+    /// iteration with their chunk messages), the leftovers of each
+    /// partition are concatenated *in bin order* and cut at the chunk
+    /// size: the tail chunk count stays what the unclustered layout pays,
+    /// and because consecutive bins cover consecutive key sub-ranges,
+    /// each concatenated chunk's window spans a short contiguous run of
+    /// bins — still narrow, still stride-summarized exactly.
+    fn seal_edge_sets(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        let bins = self.params.cluster.bins() as usize;
+        let epc = self.params.edges_per_chunk;
+        for part in 0..self.edges.len() {
+            for reverse in [false, true] {
+                let (opens, set) = if reverse {
+                    (&mut self.open_redges, &mut self.redges[part])
+                } else {
+                    (&mut self.open_edges, &mut self.edges[part])
+                };
+                let mut run: Vec<Edge> = Vec::new();
+                for slot in part * bins..(part + 1) * bins {
+                    run.append(&mut opens[slot]);
+                    while run.len() >= epc {
+                        let rest = run.split_off(epc);
+                        let chunk = std::mem::replace(&mut run, rest);
+                        let index = edge_index(&chunk, reverse);
+                        set.append_indexed(Arc::new(chunk), Some(index))
+                            .expect("edge chunk io");
+                    }
+                }
+                if !run.is_empty() {
+                    let index = edge_index(&run, reverse);
+                    set.append_indexed(Arc::new(run), Some(index))
+                        .expect("edge chunk io");
+                }
+            }
+        }
     }
 
     /// Defers `msg` until the device completes at `at`, then sends it to
@@ -274,6 +407,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 from,
                 active,
             } => {
+                self.seal_edge_sets();
                 let materialize = self.params.streaming == Streaming::Reference;
                 let set = if reverse {
                     &mut self.redges[part]
@@ -382,6 +516,9 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 );
             }
             Msg::RemainingReq { part, kind, from } => {
+                if matches!(kind, DataKind::Edges | DataKind::EdgesReverse) {
+                    self.seal_edge_sets();
+                }
                 let bytes = match kind {
                     DataKind::Edges => self.edges[part].bytes_remaining(),
                     DataKind::EdgesReverse => self.redges[part].bytes_remaining(),
@@ -404,6 +541,23 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 data,
                 from,
             } => self.store_edge_chunk(ctx, part, reverse, data, None, from),
+            Msg::WriteEdgeBatch { writes, from } => {
+                let mut bytes = 0;
+                for w in writes {
+                    bytes += w.data.len() as u64 * self.params.edge_bytes;
+                    self.merge_edge_write(w.part, w.reverse, w.data);
+                }
+                let done = self.device.write(now, bytes);
+                self.respond_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::WriteAck {
+                        kind: WriteKind::Edges,
+                    },
+                    CONTROL_BYTES,
+                );
+            }
             Msg::ReplaceEdgeChunk {
                 part,
                 reverse,
@@ -451,6 +605,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 // Metadata-only; no reply needed.
             }
             Msg::ResetEdgeEpoch => {
+                self.seal_edge_sets();
                 for cs in &mut self.edges {
                     cs.reset_epoch();
                 }

@@ -17,7 +17,7 @@ pub mod size;
 pub mod types;
 pub mod webgraph;
 
-pub use partition::{partition_edges, PartitionSpec};
+pub use partition::{partition_edges, BinSpec, PartitionSpec};
 pub use rmat::RmatConfig;
 pub use size::SizeModel;
 pub use types::{Adjacency, Edge, InputGraph, VertexId};

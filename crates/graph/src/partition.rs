@@ -107,6 +107,108 @@ impl PartitionSpec {
     }
 }
 
+/// Source-clustered sub-binning of a partition's key space.
+///
+/// Edges stored in input arrival order give every chunk a scatter-key
+/// window spanning nearly the whole partition, so selective streaming can
+/// only skip chunks when the partition's frontier is completely empty.
+/// Radix-binning each partition's edges into `bins` consecutive key
+/// sub-ranges *before* chunking (GridGraph's source-dimension binning,
+/// X-Stream's streaming-partition discipline) makes chunk windows narrow
+/// and disjoint — ~1/bins of the partition — which is what lets
+/// mid-wavefront iterations skip chunks in proportion to frontier
+/// sparsity.
+///
+/// A `BinSpec` is derived once per run from the [`PartitionSpec`]: every
+/// partition shares the same sub-stride (`ceil(stride / bins)`), so a
+/// partition-local offset maps to its bin with one shift (power-of-two
+/// sub-strides, the common case) or one division. `bins == 1` is the
+/// unclustered layout — one bin covering the whole partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinSpec {
+    bins: u32,
+    substride: u64,
+    /// `log2(substride)` when the sub-stride is a power of two (the
+    /// per-edge hot path takes a shift instead of a division).
+    shift: Option<u32>,
+}
+
+impl BinSpec {
+    /// Derives the bin layout for `spec` with `bins` sub-ranges per
+    /// partition. Partitions shorter than `bins` vertices get one bin per
+    /// vertex (trailing bins stay empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(spec: &PartitionSpec, bins: u32) -> Self {
+        assert!(bins > 0, "need at least one bin per partition");
+        let substride = spec.stride.div_ceil(bins as u64).max(1);
+        Self {
+            bins,
+            substride,
+            shift: substride
+                .is_power_of_two()
+                .then(|| substride.trailing_zeros()),
+        }
+    }
+
+    /// The single-bin (unclustered) layout.
+    pub fn single(spec: &PartitionSpec) -> Self {
+        Self::new(spec, 1)
+    }
+
+    /// Number of bins per partition.
+    pub fn bins(&self) -> u32 {
+        self.bins
+    }
+
+    /// Vertices per bin.
+    pub fn substride(&self) -> u64 {
+        self.substride
+    }
+
+    /// Bin of a partition-local vertex offset. Offsets past the nominal
+    /// stride (possible only through misuse) clamp to the last bin.
+    #[inline]
+    pub fn bin_of_offset(&self, off: u64) -> u32 {
+        let b = match self.shift {
+            Some(s) => off >> s,
+            None => off / self.substride,
+        };
+        (b as u32).min(self.bins - 1)
+    }
+
+    /// Bin of vertex `v`, which must lie in partition `part` of `spec`.
+    #[inline]
+    pub fn bin_of(&self, spec: &PartitionSpec, part: usize, v: VertexId) -> u32 {
+        debug_assert!(spec.range(part).contains(&v));
+        self.bin_of_offset(v - part as u64 * spec.stride)
+    }
+
+    /// Inclusive vertex-id range `(lo, hi)` of `bin` within partition
+    /// `part`, or `None` when the bin falls entirely past the partition's
+    /// end (short last partition, or more bins than vertices).
+    pub fn bin_range(
+        &self,
+        spec: &PartitionSpec,
+        part: usize,
+        bin: u32,
+    ) -> Option<(VertexId, VertexId)> {
+        let r = spec.range(part);
+        let lo = r.start + bin as u64 * self.substride;
+        if lo >= r.end {
+            return None;
+        }
+        let hi = if bin == self.bins - 1 {
+            r.end - 1
+        } else {
+            (lo + self.substride - 1).min(r.end - 1)
+        };
+        Some((lo, hi))
+    }
+}
+
 /// One pass over the edge list binning edges by the partition of their
 /// source vertex — the *only* pre-processing Chaos does (§3). This in-memory
 /// helper is used by tests and the single-machine baseline; the distributed
@@ -167,6 +269,65 @@ mod tests {
             for e in edges {
                 assert_eq!(spec.partition_of(e.src), p);
             }
+        }
+    }
+
+    #[test]
+    fn bins_tile_each_partition_exactly() {
+        for (n, p, bins) in [
+            (1000u64, 7usize, 16u32),
+            (256, 4, 8),
+            (256, 4, 64),
+            (100, 3, 7),
+            (5, 2, 8), // more bins than vertices
+            (64, 1, 1),
+        ] {
+            let spec = PartitionSpec::with_partitions(n, p);
+            let bs = BinSpec::new(&spec, bins);
+            for part in 0..p {
+                let mut expect = spec.range(part).start;
+                for b in 0..bins {
+                    let Some((lo, hi)) = bs.bin_range(&spec, part, b) else {
+                        continue;
+                    };
+                    assert_eq!(lo, expect, "bins are consecutive and gap-free");
+                    assert!(hi >= lo && hi < spec.range(part).end);
+                    for v in lo..=hi {
+                        assert_eq!(bs.bin_of(&spec, part, v), b);
+                    }
+                    expect = hi + 1;
+                }
+                assert_eq!(expect, spec.range(part).end, "bins cover the partition");
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_shift_matches_division() {
+        let spec = PartitionSpec::with_partitions(1 << 12, 4);
+        let shifted = BinSpec::new(&spec, 16); // substride 64, power of two
+        assert_eq!(shifted.substride(), 64);
+        let spec_odd = PartitionSpec::with_partitions(900, 4); // stride 225
+        let divided = BinSpec::new(&spec_odd, 16);
+        assert_eq!(divided.substride(), 15);
+        for off in 0..spec.stride {
+            assert_eq!(shifted.bin_of_offset(off), (off / 64).min(15) as u32);
+        }
+        for off in 0..spec_odd.stride {
+            assert_eq!(divided.bin_of_offset(off), (off / 15).min(15) as u32);
+        }
+    }
+
+    #[test]
+    fn single_bin_is_the_unclustered_layout() {
+        let spec = PartitionSpec::with_partitions(1000, 3);
+        let bs = BinSpec::single(&spec);
+        assert_eq!(bs.bins(), 1);
+        for part in 0..3 {
+            let r = spec.range(part);
+            assert_eq!(bs.bin_range(&spec, part, 0), Some((r.start, r.end - 1)));
+            assert_eq!(bs.bin_of(&spec, part, r.start), 0);
+            assert_eq!(bs.bin_of(&spec, part, r.end - 1), 0);
         }
     }
 

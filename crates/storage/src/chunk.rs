@@ -23,16 +23,111 @@ enum Payload<T> {
     File(u64, u64),
 }
 
+/// Scatter-key index of one chunk: the inclusive key window `(lo, hi)` of
+/// its records plus a stride-occupancy summary — a bitmap of up to 64
+/// equal-width buckets over the window, bit `i` set iff some record's key
+/// falls in bucket `i`.
+///
+/// The window alone skips a chunk whose key range misses the active set
+/// entirely; the occupancy bitmap additionally skips chunks whose window
+/// *overlaps* the active set but whose occupied strides don't — the case
+/// a mid-wavefront frontier leaves behind once the clustered layout makes
+/// windows narrow. Both tests are exact over the chunk's real keys, so a
+/// skip is always sound (a key outside every occupied stride cannot
+/// exist).
+///
+/// An inverted window (`lo > hi`, occupancy 0) is the canonical empty
+/// chunk, skippable under any active set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkIndex {
+    /// Lowest scatter key present.
+    pub lo: u64,
+    /// Highest scatter key present (inclusive).
+    pub hi: u64,
+    /// Stride-occupancy bitmap over `[lo, hi]` at [`ChunkIndex::stride_width`].
+    pub strides: u64,
+}
+
+impl ChunkIndex {
+    /// The empty chunk's index: inverted window, no occupied strides.
+    pub const EMPTY: ChunkIndex = ChunkIndex {
+        lo: u64::MAX,
+        hi: 0,
+        strides: 0,
+    };
+
+    /// Builds the index from the chunk's scatter keys (two passes: window,
+    /// then occupancy). An empty iterator yields [`ChunkIndex::EMPTY`].
+    pub fn from_keys<I: Iterator<Item = u64> + Clone>(keys: I) -> Self {
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for k in keys.clone() {
+            lo = lo.min(k);
+            hi = hi.max(k);
+        }
+        if lo > hi {
+            return Self::EMPTY;
+        }
+        let mut ix = Self { lo, hi, strides: 0 };
+        let w = ix.stride_width();
+        for k in keys {
+            ix.strides |= 1u64 << ((k - lo) / w);
+        }
+        ix
+    }
+
+    /// A fully occupied index over the inclusive window `[lo, hi]` —
+    /// window-only semantics (every stride counts as occupied).
+    pub fn span(lo: u64, hi: u64) -> Self {
+        if lo > hi {
+            return Self::EMPTY;
+        }
+        Self {
+            lo,
+            hi,
+            strides: !0,
+        }
+    }
+
+    /// Width of one occupancy stride (so that at most 64 strides cover
+    /// the window).
+    pub fn stride_width(&self) -> u64 {
+        debug_assert!(self.lo <= self.hi);
+        (self.hi - self.lo) / 64 + 1
+    }
+
+    /// Key width of the window, `None` for the empty (inverted) index.
+    pub fn width(&self) -> Option<u64> {
+        (self.lo <= self.hi).then(|| self.hi - self.lo + 1)
+    }
+
+    /// Whether any occupied stride contains an active key — the chunk-skip
+    /// test. The window test runs first (one cheap range query); only a
+    /// window that overlaps the active set pays for the per-stride scan.
+    pub fn intersects(&self, active: &ActiveSet) -> bool {
+        if self.lo > self.hi || !active.any_in_window(self.lo, self.hi) {
+            return false;
+        }
+        let w = self.stride_width();
+        let mut bits = self.strides;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as u64;
+            let lo = self.lo + b * w;
+            if active.any_in_window(lo, (lo + w - 1).min(self.hi)) {
+                return true;
+            }
+            bits &= bits - 1;
+        }
+        false
+    }
+}
+
 #[derive(Debug)]
 struct Entry<T> {
     payload: Payload<T>,
     records: u64,
-    /// Inclusive scatter-key window `(lo, hi)` of the chunk's records —
-    /// the source-range index selective streaming tests active sets
-    /// against. `None` means unindexed (never skipped); an inverted window
-    /// (`lo > hi`) is the canonical empty chunk, skippable under any
-    /// active set.
-    window: Option<(u64, u64)>,
+    /// Scatter-key index selective streaming tests active sets against;
+    /// `None` means unindexed (never skipped).
+    index: Option<ChunkIndex>,
 }
 
 /// One chunk handed out by [`ChunkSet::serve_next_selective`].
@@ -126,20 +221,19 @@ impl<T: Record> ChunkSet<T> {
     ///
     /// Returns an I/O error if the file backend write fails.
     pub fn append(&mut self, records: Arc<Vec<T>>) -> std::io::Result<u64> {
-        self.append_windowed(records, None)
+        self.append_indexed(records, None)
     }
 
-    /// Appends a chunk carrying a scatter-key window index (inclusive
-    /// `(lo, hi)` over the records' scatter-side vertex ids). Returns its
-    /// storage size in bytes.
+    /// Appends a chunk carrying a scatter-key index over the records'
+    /// scatter-side vertex ids. Returns its storage size in bytes.
     ///
     /// # Errors
     ///
     /// Returns an I/O error if the file backend write fails.
-    pub fn append_windowed(
+    pub fn append_indexed(
         &mut self,
         records: Arc<Vec<T>>,
-        window: Option<(u64, u64)>,
+        index: Option<ChunkIndex>,
     ) -> std::io::Result<u64> {
         let n = records.len() as u64;
         let bytes = n * self.record_bytes;
@@ -153,7 +247,7 @@ impl<T: Record> ChunkSet<T> {
         self.entries.push(Entry {
             payload,
             records: n,
-            window,
+            index,
         });
         Ok(bytes)
     }
@@ -179,11 +273,24 @@ impl<T: Record> ChunkSet<T> {
         &mut self,
         entry: u32,
         records: Arc<Vec<T>>,
-        window: Option<(u64, u64)>,
+        index: Option<ChunkIndex>,
     ) -> std::io::Result<(u64, u64)> {
         let n = records.len() as u64;
         let new_bytes = n * self.record_bytes;
         let e = &mut self.entries[entry as usize];
+        // Compaction only removes records, so a replacement can narrow a
+        // chunk's key window but never widen it (compaction-to-empty
+        // yields the inverted always-skip window, which trivially
+        // narrows). This is what keeps clustered-layout windows narrow
+        // across arbitrarily many compaction rounds.
+        debug_assert!(
+            match (&e.index, &index) {
+                (Some(old), Some(new)) =>
+                    new.lo > new.hi || (new.lo >= old.lo && new.hi <= old.hi),
+                _ => true,
+            },
+            "replacement widened a chunk window"
+        );
         let old_bytes = e.records * self.record_bytes;
         e.payload = match &mut self.file {
             Some(f) => {
@@ -193,7 +300,7 @@ impl<T: Record> ChunkSet<T> {
             None => Payload::Mem(records),
         };
         e.records = n;
-        e.window = window;
+        e.index = index;
         Ok((old_bytes, new_bytes))
     }
 
@@ -240,8 +347,8 @@ impl<T: Record> ChunkSet<T> {
         while self.cursor < self.entries.len() {
             let idx = self.cursor;
             self.cursor += 1;
-            let skip = match (active, self.entries[idx].window) {
-                (Some(a), Some((lo, hi))) => !a.any_in_window(lo, hi),
+            let skip = match (active, &self.entries[idx].index) {
+                (Some(a), Some(ix)) => !ix.intersects(a),
                 _ => false,
             };
             if skip {
@@ -321,6 +428,13 @@ impl<T: Record> ChunkSet<T> {
     /// Storage bytes of one record.
     pub fn record_bytes(&self) -> u64 {
         self.record_bytes
+    }
+
+    /// The scatter-key indexes of all chunks, in entry order (`None` for
+    /// unindexed entries) — layout observability for window-width
+    /// histograms.
+    pub fn indexes(&self) -> impl Iterator<Item = Option<ChunkIndex>> + '_ {
+        self.entries.iter().map(|e| e.index)
     }
 }
 
@@ -480,9 +594,9 @@ mod tests {
     fn selective_serve_skips_inactive_windows() {
         use chaos_gas::ActiveSet;
         let mut cs = ChunkSet::<u64>::in_memory(8);
-        cs.append_windowed(chunk(0, 10), Some((0, 9))).unwrap();
-        cs.append_windowed(chunk(10, 20), Some((10, 19))).unwrap();
-        cs.append_windowed(chunk(20, 30), Some((20, 29))).unwrap();
+        cs.append_indexed(chunk(0, 10), Some(ChunkIndex::span(0, 9))).unwrap();
+        cs.append_indexed(chunk(10, 20), Some(ChunkIndex::span(10, 19))).unwrap();
+        cs.append_indexed(chunk(20, 30), Some(ChunkIndex::span(20, 29))).unwrap();
         cs.append(chunk(30, 32)).unwrap(); // unindexed: never skipped
         // Only 20..30 active.
         let active = ActiveSet::from_fn(0, 32, |off| (20..30).contains(&off));
@@ -509,8 +623,8 @@ mod tests {
     fn reference_mode_materializes_skipped_payloads() {
         use chaos_gas::ActiveSet;
         let mut cs = ChunkSet::<u64>::in_memory(8);
-        cs.append_windowed(chunk(0, 5), Some((0, 4))).unwrap();
-        cs.append_windowed(chunk(5, 9), Some((5, 8))).unwrap();
+        cs.append_indexed(chunk(0, 5), Some(ChunkIndex::span(0, 4))).unwrap();
+        cs.append_indexed(chunk(5, 9), Some(ChunkIndex::span(5, 8))).unwrap();
         let active = ActiveSet::from_fn(0, 16, |_| false);
         let r = cs.serve_next_selective(Some(&active), true).unwrap();
         assert!(r.served.is_none());
@@ -523,9 +637,9 @@ mod tests {
     #[test]
     fn replace_compacts_in_place_preserving_identity() {
         let mut cs = ChunkSet::<u64>::in_memory(8);
-        cs.append_windowed(chunk(0, 10), Some((0, 9))).unwrap();
-        cs.append_windowed(chunk(10, 20), Some((10, 19))).unwrap();
-        let (old, new) = cs.replace(0, chunk(0, 3), Some((0, 2))).unwrap();
+        cs.append_indexed(chunk(0, 10), Some(ChunkIndex::span(0, 9))).unwrap();
+        cs.append_indexed(chunk(10, 20), Some(ChunkIndex::span(10, 19))).unwrap();
+        let (old, new) = cs.replace(0, chunk(0, 3), Some(ChunkIndex::span(0, 2))).unwrap();
         assert_eq!((old, new), (80, 24));
         assert_eq!(cs.stats().records, 13);
         assert_eq!(cs.stats().chunks, 2, "identity preserved");
@@ -533,7 +647,7 @@ mod tests {
         let a = cs.serve_next().unwrap().unwrap();
         assert_eq!(a.as_slice(), &[0, 1, 2]);
         // Compaction to empty yields an always-skippable inverted window.
-        cs.replace(1, Arc::new(Vec::new()), Some((u64::MAX, 0))).unwrap();
+        cs.replace(1, Arc::new(Vec::new()), Some(ChunkIndex::EMPTY)).unwrap();
         cs.reset_epoch();
         use chaos_gas::ActiveSet;
         let everything = ActiveSet::from_fn(0, 32, |_| true);
@@ -550,13 +664,91 @@ mod tests {
         let dir = ScratchDir::new("chaos-chunkset-replace").unwrap();
         let fb = FileBacking::create(&dir.path().join("edges.dat")).unwrap();
         let mut cs = ChunkSet::<u64>::file_backed(8, fb);
-        cs.append_windowed(chunk(0, 100), Some((0, 99))).unwrap();
-        cs.replace(0, chunk(40, 50), Some((40, 49))).unwrap();
+        cs.append_indexed(chunk(0, 100), Some(ChunkIndex::span(0, 99))).unwrap();
+        cs.replace(0, chunk(40, 50), Some(ChunkIndex::span(40, 49))).unwrap();
         let a = cs.serve_next().unwrap().unwrap();
         assert_eq!(a.as_slice(), &(40..50).collect::<Vec<_>>()[..]);
         cs.reset_epoch();
         let again = cs.serve_next().unwrap().unwrap();
         assert_eq!(again.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn chunk_index_from_keys_is_exact() {
+        let ix = ChunkIndex::from_keys([100u64, 163, 110].into_iter());
+        assert_eq!((ix.lo, ix.hi), (100, 163));
+        assert_eq!(ix.stride_width(), 1, "64-key window: one key per stride");
+        assert_eq!(ix.strides, 1 | (1 << 10) | (1 << 63));
+        assert_eq!(ix.width(), Some(64));
+        // Wider window: strides coarsen, every key stays covered.
+        let ix = ChunkIndex::from_keys((0..1000u64).step_by(100));
+        assert_eq!((ix.lo, ix.hi), (0, 900));
+        let w = ix.stride_width();
+        for k in (0..1000u64).step_by(100) {
+            assert!(ix.strides & (1 << ((k - ix.lo) / w)) != 0);
+        }
+        assert_eq!(ChunkIndex::from_keys(std::iter::empty()), ChunkIndex::EMPTY);
+        assert_eq!(ChunkIndex::EMPTY.width(), None);
+    }
+
+    #[test]
+    fn stride_bitmap_skips_window_overlaps_without_occupancy() {
+        use chaos_gas::ActiveSet;
+        // Keys cluster at both ends of a wide window; the middle strides
+        // are unoccupied.
+        let ix = ChunkIndex::from_keys((0..10u64).chain(630..640));
+        assert_eq!((ix.lo, ix.hi), (0, 639));
+        assert_eq!(ix.stride_width(), 10);
+        // Active only in the unoccupied middle: window overlaps, strides
+        // do not -> no intersection.
+        let mid = ActiveSet::from_fn(0, 640, |off| (300..330).contains(&off));
+        assert!(!ix.intersects(&mid), "occupancy prunes a window overlap");
+        // Active touching an occupied stride intersects.
+        let lowend = ActiveSet::from_fn(0, 640, |off| off == 5);
+        assert!(ix.intersects(&lowend));
+        let highend = ActiveSet::from_fn(0, 640, |off| off == 635);
+        assert!(ix.intersects(&highend));
+        // Fully-occupied span never prunes past the window test.
+        assert!(ChunkIndex::span(0, 639).intersects(&mid));
+        // The empty index intersects nothing.
+        assert!(!ChunkIndex::EMPTY.intersects(&lowend));
+    }
+
+    /// Serve ordering with stride-bitmap skips: skipped chunks are
+    /// consumed for the epoch in front of the served one, accounting
+    /// matches, and an epoch reset brings them back.
+    #[test]
+    fn stride_bitmap_skip_and_serve_ordering() {
+        use chaos_gas::ActiveSet;
+        let mut cs = ChunkSet::<u64>::in_memory(8);
+        // Three chunks, all with windows overlapping [0, 96): the first
+        // two occupy only strides the active set misses.
+        let c0: Arc<Vec<u64>> = Arc::new(vec![0, 1, 90, 91]);
+        let c1: Arc<Vec<u64>> = Arc::new(vec![10, 11, 80]);
+        let c2: Arc<Vec<u64>> = Arc::new(vec![0, 50, 95]);
+        for c in [&c0, &c1, &c2] {
+            cs.append_indexed(Arc::clone(c), Some(ChunkIndex::from_keys(c.iter().copied())))
+                .unwrap();
+        }
+        // Active only around 50: inside every window, outside c0/c1's
+        // occupied strides.
+        let active = ActiveSet::from_fn(0, 96, |off| (49..52).contains(&off));
+        let r = cs.serve_next_selective(Some(&active), false).unwrap();
+        let served = r.served.expect("c2 holds an active stride");
+        assert_eq!(served.entry, 2, "both stride-pruned chunks consumed first");
+        assert_eq!(served.data.as_slice(), c2.as_slice());
+        assert_eq!(r.skipped_chunks, 2);
+        assert_eq!(r.skipped_records, 7);
+        assert!(cs.exhausted() || cs.bytes_remaining() == 0);
+        let r = cs.serve_next_selective(Some(&active), false).unwrap();
+        assert!(r.served.is_none());
+        // Reference mode materializes exactly the same skip decisions.
+        cs.reset_epoch();
+        let r = cs.serve_next_selective(Some(&active), true).unwrap();
+        assert_eq!(r.served.expect("same decision").entry, 2);
+        assert_eq!(r.skipped_payloads.len(), 2);
+        assert_eq!(r.skipped_payloads[0].as_slice(), c0.as_slice());
+        assert_eq!(r.skipped_payloads[1].as_slice(), c1.as_slice());
     }
 
     #[test]

@@ -1,23 +1,24 @@
 #!/usr/bin/env bash
-# Bench smoke: run the Figure 7 harness on both execution backends AND in
-# the dense-streaming reference mode, verify all outputs are byte-identical
-# (the simulation is backend-invariant, and selective streaming accounts
-# exactly like its dense-streaming oracle), and record wall-clock timings
-# plus the hot-path metrics (records streamed per wall-second, records
-# skipped by selective streaming) to BENCH_pr4.json.
+# Bench smoke: run the Figure 7 harness on both execution backends, in the
+# dense-streaming reference mode, AND on the unclustered edge layout;
+# verify the invariants (backend- and reference-mode output byte-identical;
+# computed results byte-identical across chunk layouts via the states
+# digest), and record wall-clock timings plus the hot-path metrics
+# (records streamed per wall-second, records skipped — total and
+# mid-wavefront) to BENCH_pr5.json.
 #
-# When a BENCH_pr3.json baseline is present (repo root), the run fails if
+# When a BENCH_pr4.json baseline is present (repo root), the run fails if
 # sequential wall time regressed more than 10% against it — the perf gate
-# for the selective-streaming / shrinking-graph-compaction hot paths.
+# for the clustered-layout / chunk-summary hot paths.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT_JSON="${1:-BENCH_pr4.json}"
+OUT_JSON="${1:-BENCH_pr5.json}"
 EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
 PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr3.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr4.json}"
 
 cargo build --release -p chaos-bench --bin figures
 
@@ -25,8 +26,9 @@ BIN=./target/release/figures
 SEQ_OUT=$(mktemp)
 PAR_OUT=$(mktemp)
 REF_OUT=$(mktemp)
+FLAT_OUT=$(mktemp)
 ERR_LOG=$(mktemp)
-trap 'rm -f "$SEQ_OUT" "$PAR_OUT" "$REF_OUT" "$ERR_LOG"' EXIT
+trap 'rm -f "$SEQ_OUT" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$ERR_LOG"' EXIT
 
 # Keep stderr (panics, asserts) out of the compared output but dump it on
 # failure so CI logs show *why* a run died, not just that it did.
@@ -47,6 +49,8 @@ run_mode "$PAR_OUT" --backend "$PAR_BACKEND"
 t2=$(date +%s.%N)
 run_mode "$REF_OUT" --backend seq --streaming reference
 t3=$(date +%s.%N)
+run_mode "$FLAT_OUT" --backend seq --cluster-bins 1
+t4=$(date +%s.%N)
 
 if ! cmp -s "$SEQ_OUT" "$PAR_OUT"; then
     echo "FAIL: $EXPERIMENT output differs between backends" >&2
@@ -61,9 +65,23 @@ if ! cmp -s "$SEQ_OUT" "$REF_OUT"; then
 fi
 echo "OK: $EXPERIMENT output is byte-identical vs the dense-streaming reference mode"
 
+# Across layouts the timings and skip counts legitimately differ (narrow
+# windows skip more), but the computed results may not: the per-figure
+# "states digest" lines fingerprint every cell's final vertex states.
+SEQ_DIGEST=$(grep '^states digest:' "$SEQ_OUT" || true)
+FLAT_DIGEST=$(grep '^states digest:' "$FLAT_OUT" || true)
+if [ -z "$SEQ_DIGEST" ] || [ "$SEQ_DIGEST" != "$FLAT_DIGEST" ]; then
+    echo "FAIL: $EXPERIMENT computed different results on the unclustered layout" >&2
+    echo "clustered:   $SEQ_DIGEST" >&2
+    echo "unclustered: $FLAT_DIGEST" >&2
+    exit 1
+fi
+echo "OK: $EXPERIMENT results are byte-identical across clustered/unclustered layouts"
+
 SEQ_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
 PAR_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
 REF_S=$(python3 -c "print(f'{$t3 - $t2:.2f}')")
+FLAT_S=$(python3 -c "print(f'{$t4 - $t3:.2f}')")
 SPEEDUP=$(python3 -c "print(f'{($t1 - $t0) / ($t2 - $t1):.3f}')")
 NCPU=$(nproc 2>/dev/null || echo 0)
 # The fig7 harness prints the records-streamed/skipped totals (simulated,
@@ -73,6 +91,8 @@ RECORDS=$(sed -n 's/^records streamed: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 RECORDS=${RECORDS:-0}
 SKIPPED=$(sed -n 's/^records skipped: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 SKIPPED=${SKIPPED:-0}
+SKIPPED_MID=$(sed -n 's/^records skipped mid-wavefront: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
+SKIPPED_MID=${SKIPPED_MID:-0}
 THROUGHPUT=$(python3 -c "print(f'{$RECORDS / ($t1 - $t0):.0f}')")
 
 cat >"$OUT_JSON" <<EOF
@@ -84,9 +104,11 @@ cat >"$OUT_JSON" <<EOF
     "$PAR_BACKEND": { "wall_seconds": $PAR_S }
   },
   "reference_streaming_seq_wall_seconds": $REF_S,
+  "unclustered_layout_seq_wall_seconds": $FLAT_S,
   "seq_over_par_speedup": $SPEEDUP,
   "records_streamed": $RECORDS,
   "records_skipped": $SKIPPED,
+  "records_skipped_mid_wavefront": $SKIPPED_MID,
   "records_per_wall_second_seq": $THROUGHPUT,
   "identical_output": true,
   "host_cpus": $NCPU,

@@ -70,6 +70,9 @@ CLUSTER OPTIONS:
                       (results are bit-identical; only wall clock differs)
   --streaming <S>     scatter streaming: selective (default), reference
                       (dense oracle, bit-identical report), or dense
+  --cluster-bins <N>  source-clustered layout bins per partition
+                      (default 16; 1 = unclustered arrival order;
+                      results are identical for any value)
   --seed <S>          RNG seed
 
 ALGORITHMS: {}",
@@ -140,6 +143,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     cfg.checkpoint = args.flag("--checkpoint");
     cfg.backend = args.parsed("--backend", Backend::Sequential)?;
     cfg.streaming = args.parsed("--streaming", Streaming::Selective)?;
+    cfg.cluster_bins = args.parsed("--cluster-bins", cfg.cluster_bins)?;
     cfg.seed = args.parsed("--seed", cfg.seed)?;
     if args.flag("--hdd") {
         cfg = cfg.with_hdd();
@@ -172,9 +176,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("device utilization  {:>10.1} %", 100.0 * report.mean_device_utilization());
     if report.chunks_skipped() > 0 || report.compactions() > 0 {
         println!(
-            "selective streaming {:>10} chunks skipped ({} records); {} compactions dropped {} edges",
+            "selective streaming {:>10} chunks skipped ({} records; {} mid-wavefront); \
+             {} compactions dropped {} edges",
             report.chunks_skipped(),
             report.records_skipped(),
+            report.records_skipped_mid(),
             report.compactions(),
             report.edges_tombstoned(),
         );
