@@ -4,11 +4,14 @@
 //! without a full figure sweep.
 //!
 //! ```text
-//! cellstats PR 4 14 [seq|par:N] [selective|reference|dense] [--bins N] [--iters]
+//! cellstats PR 4 14 [seq|par:N] [selective|reference|dense] \
+//!     [--bins N] [--queue calendar|heap] [--batching on|off] [--iters]
 //! ```
 //!
 //! `--bins N` overrides the clustered-layout bin count (1 = unclustered
-//! arrival-order layout). `--iters` adds a per-iteration table:
+//! arrival-order layout). `--queue` and `--batching` probe the event-loop
+//! core (host-side only — the simulated columns never move). `--iters`
+//! adds a per-iteration table:
 //! active-vertex fraction, chunks and records skipped (split into
 //! empty-frontier and mid-wavefront skips), and tombstone/compaction
 //! counts — the shape of a frontier collapsing or a Borůvka contraction
@@ -17,7 +20,7 @@
 use std::time::Instant;
 
 use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
-use chaos_core::{run_chaos, Backend, ChaosConfig, Streaming};
+use chaos_core::{run_chaos, Backend, ChaosConfig, QueueKind, Streaming};
 use chaos_graph::RmatConfig;
 
 fn main() {
@@ -29,6 +32,23 @@ fn main() {
         bins = match args.get(i + 1).and_then(|s| s.parse().ok()) {
             Some(b) if b > 0 => Some(b),
             _ => panic!("--bins needs a positive integer (1 = unclustered)"),
+        };
+        args.drain(i..=i + 1);
+    }
+    let mut queue = QueueKind::default();
+    if let Some(i) = args.iter().position(|a| a == "--queue") {
+        queue = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--queue needs calendar or heap");
+        args.drain(i..=i + 1);
+    }
+    let mut batching = true;
+    if let Some(i) = args.iter().position(|a| a == "--batching") {
+        batching = match args.get(i + 1).map(String::as_str) {
+            Some("on" | "true") => true,
+            Some("off" | "false") => false,
+            _ => panic!("--batching needs on or off"),
         };
         args.drain(i..=i + 1);
     }
@@ -58,6 +78,8 @@ fn main() {
     cfg.mem_budget = 256 * 1024;
     cfg.backend = backend;
     cfg.streaming = streaming;
+    cfg.queue = queue;
+    cfg.batching = batching;
     if let Some(b) = bins {
         cfg.cluster_bins = b;
     }
@@ -78,6 +100,15 @@ fn main() {
         rep.iterations,
         rep.events as f64 / wall,
         rep.records_streamed as f64 / wall,
+    );
+    println!(
+        "dispatch: queue={queue} batching={} — {} events in {} envelopes \
+         ({:.3} msgs/envelope), {} queue ops",
+        if batching { "on" } else { "off" },
+        rep.events,
+        rep.envelopes,
+        rep.batching_ratio(),
+        rep.queue_ops,
     );
     let streamed_plus_skipped = rep.records_streamed + rep.records_skipped();
     let skipped_empty = rep.records_skipped() - rep.records_skipped_mid();

@@ -23,11 +23,32 @@
 //! (1 = the unclustered arrival-order layout). Timings and skip counts
 //! legitimately differ across layouts; the figures' "states digest"
 //! lines do not, and `bench_smoke.sh` compares them.
+//!
+//! `--queue {calendar|heap}` selects the event-queue store and
+//! `--batching {on|off}` toggles same-machine envelope batching. Both are
+//! host-side-only like the backend: stdout is bit-identical across every
+//! combination (`bench_smoke.sh` byte-compares the cross), and the
+//! dispatch accounting that *does* differ goes to stderr.
+//!
+//! `--no-cache` bypasses the on-disk RMAT graph cache (default location
+//! `target/rmat-cache`, override with `CHAOS_RMAT_CACHE`).
 
 use std::process::ExitCode;
 
 use chaos_bench::{run_experiment, Harness, Scale, EXPERIMENTS};
-use chaos_core::{Backend, Streaming};
+use chaos_core::{Backend, QueueKind, Streaming};
+
+/// Prints the host-side dispatch account to stderr (stdout must stay
+/// byte-identical across queue/batching configurations).
+fn dispatch_stats(h: &Harness) {
+    eprintln!(
+        "dispatch stats: events={} envelopes={} ratio={:.3} queue-ops={}",
+        h.events_dispatched(),
+        h.envelopes_sent(),
+        h.batching_ratio(),
+        h.queue_ops(),
+    );
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +99,34 @@ fn main() -> ExitCode {
         };
         args.drain(i..=i + 1);
     }
+    let mut queue = QueueKind::default();
+    while let Some(i) = args.iter().position(|a| a == "--queue") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("--queue needs a value: calendar or heap");
+            return ExitCode::FAILURE;
+        };
+        queue = match spec.parse() {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.drain(i..=i + 1);
+    }
+    let mut batching = true;
+    while let Some(i) = args.iter().position(|a| a == "--batching") {
+        batching = match args.get(i + 1).map(String::as_str) {
+            Some("on" | "true") => true,
+            Some("off" | "false") => false,
+            _ => {
+                eprintln!("--batching needs a value: on or off");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.drain(i..=i + 1);
+    }
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     let full = args.iter().any(|a| a == "--full");
     let ids: Vec<&str> = args
         .iter()
@@ -87,7 +136,10 @@ fn main() -> ExitCode {
     let scale = if full { Scale::full() } else { Scale::quick() }
         .with_backend(backend)
         .with_streaming(streaming)
-        .with_cluster_bins(cluster_bins);
+        .with_cluster_bins(cluster_bins)
+        .with_queue(queue)
+        .with_batching(batching)
+        .with_disk_cache(!no_cache);
 
     match ids.first().copied() {
         None | Some("list") => {
@@ -103,12 +155,14 @@ fn main() -> ExitCode {
                 eprintln!("[{:7.1}s elapsed]", h.elapsed());
             }
             println!("\nall experiments done in {:.1}s wall clock", h.elapsed());
+            dispatch_stats(&h);
         }
         Some(_) => {
             let h = Harness::new(scale);
             for id in ids {
                 run_experiment(id, &h);
             }
+            dispatch_stats(&h);
         }
     }
     ExitCode::SUCCESS

@@ -2,11 +2,12 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::time::Instant;
 
 use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
-use chaos_core::{run_chaos, Backend, ChaosConfig, RunReport, Streaming};
+use chaos_core::{run_chaos, Backend, ChaosConfig, QueueKind, RunReport, Streaming};
 use chaos_graph::{InputGraph, RmatConfig, WebGraphConfig};
 
 /// Experiment sizing.
@@ -38,6 +39,15 @@ pub struct Scale {
     /// (`bench_smoke.sh` compares them), while timings and skip counts
     /// legitimately differ.
     pub cluster_bins: Option<u32>,
+    /// Event-queue store for every run. Like the backend, a pure host-side
+    /// choice: figure output is bit-identical across queue kinds.
+    pub queue: QueueKind,
+    /// Same-machine envelope batching for every run — also host-side only;
+    /// `bench_smoke.sh` byte-compares figure output across this flag too.
+    pub batching: bool,
+    /// Reuse generated RMAT graphs from the on-disk cache (see
+    /// [`Harness::rmat_for`]). `figures --no-cache` turns it off.
+    pub disk_cache: bool,
 }
 
 impl Scale {
@@ -52,6 +62,9 @@ impl Scale {
             backend: Backend::Sequential,
             streaming: Streaming::Selective,
             cluster_bins: None,
+            queue: QueueKind::default(),
+            batching: true,
+            disk_cache: true,
         }
     }
 
@@ -66,6 +79,9 @@ impl Scale {
             backend: Backend::Sequential,
             streaming: Streaming::Selective,
             cluster_bins: None,
+            queue: QueueKind::default(),
+            batching: true,
+            disk_cache: true,
         }
     }
 
@@ -84,6 +100,24 @@ impl Scale {
     /// The same sizing with a clustered-layout bin override.
     pub fn with_cluster_bins(mut self, bins: Option<u32>) -> Self {
         self.cluster_bins = bins;
+        self
+    }
+
+    /// The same sizing with a different event-queue store.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// The same sizing with envelope batching toggled.
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// The same sizing with the on-disk RMAT cache toggled.
+    pub fn with_disk_cache(mut self, disk_cache: bool) -> Self {
+        self.disk_cache = disk_cache;
         self
     }
 }
@@ -106,6 +140,9 @@ pub struct Harness {
     skipped: Cell<u64>,
     skipped_mid: Cell<u64>,
     digest: Cell<u64>,
+    events: Cell<u64>,
+    envelopes: Cell<u64>,
+    queue_ops: Cell<u64>,
 }
 
 /// FNV-1a over the storage encodings of the final vertex states — a
@@ -139,6 +176,9 @@ impl Harness {
             skipped: Cell::new(0),
             skipped_mid: Cell::new(0),
             digest: Cell::new(0xcbf2_9ce4_8422_2325),
+            events: Cell::new(0),
+            envelopes: Cell::new(0),
+            queue_ops: Cell::new(0),
         }
     }
 
@@ -176,8 +216,45 @@ impl Harness {
         self.digest.get()
     }
 
+    /// Logical events dispatched by every run so far — invariant across
+    /// backends, queue kinds and batching (an unpacked envelope counts
+    /// once per inner message).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events.get()
+    }
+
+    /// Physical envelopes popped from the event queue by every run so far.
+    /// Host-side provenance: batching coalesces same-machine message runs,
+    /// so this drops below [`Harness::events_dispatched`] when it engages.
+    pub fn envelopes_sent(&self) -> u64 {
+        self.envelopes.get()
+    }
+
+    /// Event-queue pushes + pops across every run so far (host-side).
+    pub fn queue_ops(&self) -> u64 {
+        self.queue_ops.get()
+    }
+
+    /// Mean logical messages per envelope (1.0 = no coalescing).
+    pub fn batching_ratio(&self) -> f64 {
+        if self.envelopes.get() == 0 {
+            1.0
+        } else {
+            self.events.get() as f64 / self.envelopes.get() as f64
+        }
+    }
+
     /// RMAT graph at `scale`, shaped for the named algorithm (undirected
-    /// expansion and/or weights per Table 1), memoized.
+    /// expansion and/or weights per Table 1), memoized in memory and — by
+    /// default — on disk, so consecutive `figures` invocations (the four
+    /// runs of `scripts/bench_smoke.sh`) stop regenerating the same graph.
+    ///
+    /// The cache lives in `target/rmat-cache` (override with
+    /// `CHAOS_RMAT_CACHE`); files are keyed on the full generator
+    /// configuration plus the undirected expansion, written atomically
+    /// (temp file + rename) and validated on read — a corrupt or
+    /// mismatched file falls back to regeneration. Hits and misses are
+    /// logged to stderr; `figures --no-cache` bypasses the disk entirely.
     pub fn rmat_for(&self, scale: u32, algo: &str) -> Rc<InputGraph> {
         let undirected = needs_undirected(algo);
         let weighted = needs_weights(algo);
@@ -190,10 +267,23 @@ impl Harness {
         } else {
             RmatConfig::paper(scale)
         };
-        let mut g = cfg.generate();
-        if undirected {
-            g = g.to_undirected();
-        }
+        let path = self
+            .scale
+            .disk_cache
+            .then(|| rmat_cache_dir().join(rmat_cache_name(&cfg, undirected)));
+        let g = match path.as_deref().and_then(|p| load_cached_rmat(p, &cfg)) {
+            Some(g) => g,
+            None => {
+                let mut g = cfg.generate();
+                if undirected {
+                    g = g.to_undirected();
+                }
+                if let Some(p) = path.as_deref() {
+                    store_cached_rmat(p, &g);
+                }
+                g
+            }
+        };
         let g = Rc::new(g);
         self.graphs.borrow_mut().insert(key, Rc::clone(&g));
         g
@@ -222,6 +312,8 @@ impl Harness {
         cfg.mem_budget = self.scale.mem_budget;
         cfg.backend = self.scale.backend;
         cfg.streaming = self.scale.streaming;
+        cfg.queue = self.scale.queue;
+        cfg.batching = self.scale.batching;
         if let Some(bins) = self.scale.cluster_bins {
             cfg.cluster_bins = bins;
         }
@@ -238,6 +330,9 @@ impl Harness {
         self.skipped.set(self.skipped.get() + rep.records_skipped());
         self.skipped_mid
             .set(self.skipped_mid.get() + rep.records_skipped_mid());
+        self.events.set(self.events.get() + rep.events);
+        self.envelopes.set(self.envelopes.get() + rep.envelopes);
+        self.queue_ops.set(self.queue_ops.get() + rep.queue_ops);
         // Order-sensitive mix of the per-run digests (runs are driven in a
         // fixed order per experiment).
         self.digest
@@ -254,6 +349,63 @@ impl Harness {
         } else {
             vec!["BFS", "WCC", "PR", "Cond", "SpMV", "BP"]
         }
+    }
+}
+
+/// The on-disk RMAT cache directory: `$CHAOS_RMAT_CACHE`, or
+/// `target/rmat-cache` under the working directory.
+fn rmat_cache_dir() -> PathBuf {
+    std::env::var_os("CHAOS_RMAT_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/rmat-cache"))
+}
+
+/// Cache filename for a generator configuration: a readable prefix plus an
+/// FNV-1a digest of every field that shapes the edge list, so any change
+/// to the generator parameters misses cleanly.
+fn rmat_cache_name(cfg: &RmatConfig, undirected: bool) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [
+        u64::from(cfg.edge_factor),
+        cfg.probs.0.to_bits(),
+        cfg.probs.1.to_bits(),
+        cfg.probs.2.to_bits(),
+        cfg.seed,
+    ] {
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!(
+        "rmat-s{}{}{}-{h:016x}.el",
+        cfg.scale,
+        if cfg.weighted { "-w" } else { "" },
+        if undirected { "-und" } else { "" },
+    )
+}
+
+/// Reads a cached graph back, validating it against the configuration that
+/// keyed it. Any failure (missing, truncated, mismatched) is a miss.
+fn load_cached_rmat(path: &std::path::Path, cfg: &RmatConfig) -> Option<InputGraph> {
+    let g = chaos_graph::io::read_binary(path).ok()?;
+    if g.num_vertices != cfg.num_vertices() || g.weighted != cfg.weighted {
+        eprintln!("[rmat-cache] stale {}, regenerating", path.display());
+        return None;
+    }
+    eprintln!("[rmat-cache] hit {}", path.display());
+    Some(g)
+}
+
+/// Writes a graph to the cache atomically (temp file + rename); failures
+/// only cost the cache, never the run.
+fn store_cached_rmat(path: &std::path::Path, g: &InputGraph) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if chaos_graph::io::write_binary(g, &tmp).is_ok() && std::fs::rename(&tmp, path).is_ok() {
+        eprintln!("[rmat-cache] miss, wrote {}", path.display());
+    } else {
+        std::fs::remove_file(&tmp).ok();
     }
 }
 

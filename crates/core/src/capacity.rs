@@ -110,6 +110,8 @@ mod tests {
             steals: 0,
             partitions: 1,
             events: 0,
+            envelopes: 0,
+            queue_ops: 0,
             records_streamed: 0,
             selectivity: vec![],
             window_widths: Default::default(),

@@ -133,6 +133,8 @@ impl<P: GasProgram> Cluster<P> {
         // Safety valve for the event loop (a wedged protocol would
         // otherwise spin forever); generously above any legitimate run.
         sched.set_max_events(20_000_000_000);
+        sched.set_queue_kind(cfg.queue);
+        sched.set_batching(cfg.batching);
         Ok(Self {
             params,
             sched,
@@ -225,6 +227,8 @@ impl<P: GasProgram> Cluster<P> {
             steals: self.computes.iter().map(|c| c.steals).sum(),
             partitions: self.params.spec.num_partitions,
             events: self.sched.delivered(),
+            envelopes: self.sched.envelopes(),
+            queue_ops: self.sched.queue_ops(),
             records_streamed: self.computes.iter().map(|c| c.records_processed).sum(),
             selectivity,
             window_widths,

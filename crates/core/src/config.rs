@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use chaos_net::FabricConfig;
-use chaos_sim::{Time, GIB, KIB, MIB};
+use chaos_sim::{QueueKind, Time, GIB, KIB, MIB};
 use chaos_storage::DeviceProfile;
 
 /// How chunk placement and lookup are decided (§6.2 / Figure 15).
@@ -186,6 +186,15 @@ pub struct ChaosConfig {
     /// Execution backend driving the event loop. Results are bit-identical
     /// across backends; only host wall-clock behavior differs.
     pub backend: Backend,
+    /// Event-queue store behind the executor (calendar by default, binary
+    /// heap as the bit-identical oracle). Host-side only: pop order and
+    /// therefore every simulated quantity are unchanged.
+    pub queue: QueueKind,
+    /// Coalesce runs of same-machine messages into one queue envelope per
+    /// (machine, destination actor) inside a handler's send burst
+    /// (sequential backend). Host-side only: dispatch order, byte totals
+    /// and message counts are exactly those of individual sends.
+    pub batching: bool,
     /// How the scatter phase consumes edge chunks (see [`Streaming`]).
     pub streaming: Streaming,
     /// Minimum dead-edge fraction (per chunk) that triggers in-place
@@ -235,6 +244,8 @@ impl ChaosConfig {
             failure: None,
             spill_dir: None,
             backend: Backend::Sequential,
+            queue: QueueKind::default(),
+            batching: true,
             streaming: Streaming::Selective,
             compact_threshold: 0.5,
             cluster_bins: 16,
@@ -257,6 +268,18 @@ impl ChaosConfig {
     /// Switches the execution backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Switches the event-queue store.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Enables or disables same-machine envelope batching.
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -407,6 +430,17 @@ mod tests {
             .with_cluster_bins(8192)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn queue_and_batching_knobs() {
+        let c = ChaosConfig::new(2);
+        assert_eq!(c.queue, QueueKind::Calendar, "calendar by default");
+        assert!(c.batching, "batching on by default");
+        let c = c.with_queue(QueueKind::Heap).with_batching(false);
+        assert_eq!(c.queue, QueueKind::Heap);
+        assert!(!c.batching);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub use chaos_runtime::{
     SequentialExecutor, Topology,
 };
 pub use cluster::{run_chaos, Cluster};
+pub use chaos_sim::QueueKind;
 pub use config::{Backend, ChaosConfig, FailureSpec, Placement, Streaming};
 pub use metrics::{Breakdown, IterSelectivity, RunReport, WindowHistogram};
 pub use runtime::{Addr, ChaosActor, ClusterExecutor, ClusterScheduler, ClusterTopology, RunParams};

@@ -204,8 +204,18 @@ pub struct RunReport {
     pub steals: u64,
     /// Number of streaming partitions used.
     pub partitions: usize,
-    /// Total events processed by the simulation kernel.
+    /// Total events processed by the simulation kernel. Counts *logical*
+    /// messages: a coalesced envelope contributes one event per message it
+    /// carries, so this is invariant across backends and batching modes.
     pub events: u64,
+    /// Physical queue entries dispatched (envelope batching coalesces
+    /// several logical messages into one). Equals [`RunReport::events`]
+    /// when batching is off or the backend does not batch — host-side
+    /// provenance, cleared by [`RunReport::normalized`].
+    pub envelopes: u64,
+    /// Event-queue pushes + pops the executor performed (host-side
+    /// provenance, cleared by [`RunReport::normalized`]).
+    pub queue_ops: u64,
     /// Edge + update records streamed through the scatter/gather kernels,
     /// summed over machines (host-throughput accounting; invariant across
     /// backends and across batched/per-record kernels). Records skipped by
@@ -300,12 +310,25 @@ impl RunReport {
         self.selectivity.iter().map(|s| s.compactions).sum()
     }
 
+    /// Logical messages per dispatched envelope (1.0 when nothing was
+    /// coalesced) — the batching ratio the dispatch-accounting figures
+    /// report.
+    pub fn batching_ratio(&self) -> f64 {
+        if self.envelopes == 0 {
+            1.0
+        } else {
+            self.events as f64 / self.envelopes as f64
+        }
+    }
+
     /// The report with the backend-provenance fields cleared, for
-    /// comparing runs across execution backends: everything else must be
-    /// bit-identical.
+    /// comparing runs across execution backends (and queue/batching
+    /// configurations): everything else must be bit-identical.
     pub fn normalized(mut self) -> Self {
         self.backend = crate::config::Backend::Sequential;
         self.windows = 0;
+        self.envelopes = 0;
+        self.queue_ops = 0;
         self
     }
 

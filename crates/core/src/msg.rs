@@ -415,6 +415,28 @@ pub enum Msg<P: GasProgram> {
         /// The deferred message.
         inner: Box<Msg<P>>,
     },
+
+    // -------------------------------------------------- transport internal
+    /// Executor-internal envelope: a run of same-machine messages bound for
+    /// one actor, coalesced into a single queue entry
+    /// ([`chaos_runtime::Batchable`]). Unpacked back into the individual
+    /// messages at dispatch — actor `handle` code never sees this variant.
+    Batch(Vec<Msg<P>>),
+}
+
+impl<P: GasProgram> chaos_runtime::Batchable for Msg<P> {
+    const CAN_BATCH: bool = true;
+
+    fn wrap_batch(batch: Vec<Self>) -> Self {
+        Msg::Batch(batch)
+    }
+
+    fn unwrap_batch(self) -> Result<Vec<Self>, Self> {
+        match self {
+            Msg::Batch(batch) => Ok(batch),
+            other => Err(other),
+        }
+    }
 }
 
 /// A unit of CPU work whose completion is signalled by [`Msg::Processed`].
@@ -496,6 +518,7 @@ impl<P: GasProgram> std::fmt::Debug for Msg<P> {
             Msg::RemainingResp { .. } => "RemainingResp",
             Msg::RebootDone => "RebootDone",
             Msg::StorageRespond { .. } => "StorageRespond",
+            Msg::Batch(_) => "Batch",
         };
         f.write_str(name)
     }

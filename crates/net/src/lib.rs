@@ -203,6 +203,24 @@ impl chaos_runtime::Network for Fabric {
         // the contract `Network::local_latency` requires.
         self.cfg.local_delivery
     }
+
+    fn send_local_batch(&mut self, now: Time, machine: usize, total_bytes: u64, count: u64) -> Time {
+        // One accounting update for a whole coalesced envelope: byte and
+        // message totals land exactly where `count` individual local sends
+        // would have put them, and the arrival is the same constant hop.
+        assert!(machine < self.cfg.machines);
+        debug_assert!(count >= 1);
+        self.stats.local_messages += count;
+        self.stats.local_bytes += total_bytes;
+        now + self.cfg.local_delivery
+    }
+
+    fn time_quantum(&self) -> Time {
+        // Most deliveries sit a small multiple of one of these two
+        // constants past the clock; the smaller one is the natural
+        // calendar bucket width.
+        self.cfg.local_delivery.min(self.cfg.propagation).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +309,24 @@ mod tests {
         for m in 0..4 {
             assert_eq!(f.send(1000, m, m, 123), 1000 + f.local_latency(m));
         }
+    }
+
+    #[test]
+    fn local_batch_accounts_like_individual_sends() {
+        use chaos_runtime::Network as _;
+        let mut a = fabric(2);
+        let mut b = fabric(2);
+        let t1 = a.send(50, 1, 1, 300);
+        let t2 = a.send(50, 1, 1, 700);
+        let t3 = a.send(50, 1, 1, 0);
+        let tb = b.send_local_batch(50, 1, 1000, 3);
+        // Same arrival (local delivery is state- and size-independent)
+        // and identical fabric statistics.
+        assert_eq!(tb, t3);
+        assert_eq!(t1, t2);
+        assert_eq!(a.stats(), b.stats());
+        // The calendar-queue hint is the smaller latency constant.
+        assert_eq!(a.time_quantum(), MICROS);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! per-machine event lanes across a thread pool while producing the same
 //! run bit for bit.
 
-use chaos_sim::{EventQueue, Time};
+use chaos_sim::{EventQueue, QueueKind, Time};
 
-use crate::{Actor, Ctx, Network, Topology};
+use crate::{Actor, Batchable, Ctx, Network, Topology};
 
 /// A type-erased actor as executors consume it. The `Send` bound exists
 /// for the parallel backend, which moves lane actors onto worker threads;
@@ -47,8 +47,24 @@ pub trait Executor<T: Topology, M> {
     /// Current virtual time (timestamp of the last delivered event).
     fn now(&self) -> Time;
 
-    /// Number of events delivered so far.
+    /// Number of events delivered so far. With envelope batching this
+    /// counts *logical* messages (each message inside a coalesced
+    /// envelope counts), so the figure is invariant across backends and
+    /// batching configurations.
     fn delivered(&self) -> u64;
+
+    /// Number of physical envelopes delivered: equals
+    /// [`Executor::delivered`] unless the backend coalesced messages.
+    /// Host-side dispatch accounting, not a simulated quantity.
+    fn envelopes(&self) -> u64 {
+        self.delivered()
+    }
+
+    /// Total queue operations (pushes + pops) performed. Host-side
+    /// dispatch accounting, not a simulated quantity.
+    fn queue_ops(&self) -> u64 {
+        0
+    }
 
     /// Number of events still queued.
     fn pending(&self) -> usize;
@@ -149,18 +165,100 @@ pub(crate) fn absorb_sends_into<T: Topology, M, N: Network + ?Sized>(
     }
 }
 
+/// A run of same-machine sends being coalesced during a batched absorb:
+/// all share one destination slot and (by the local-latency contract) one
+/// arrival time, so they may travel as a single envelope.
+enum PendingRun<M> {
+    None,
+    One {
+        machine: usize,
+        slot: usize,
+        bytes: u64,
+        msg: M,
+    },
+    Many {
+        machine: usize,
+        slot: usize,
+        bytes: u64,
+        msgs: Vec<M>,
+    },
+}
+
+/// Emits a pending run: one ordinary send, or one
+/// [`Network::send_local_batch`]-accounted envelope wrapping the whole
+/// run. Called before any send that would break the run's consecutiveness
+/// (so network calls keep their unbatched order) and at end of absorb.
+fn flush_run<M: Batchable, N: Network + ?Sized>(
+    pending: &mut PendingRun<M>,
+    queue: &mut EventQueue<Envelope<M>>,
+    net: &mut N,
+    now: Time,
+    gen: u32,
+) {
+    match std::mem::replace(pending, PendingRun::None) {
+        PendingRun::None => {}
+        PendingRun::One {
+            machine,
+            slot,
+            bytes,
+            msg,
+        } => {
+            let arrival = net.send(now, machine, machine, bytes);
+            queue.push(arrival, slot, Envelope { gen, msg });
+        }
+        PendingRun::Many {
+            machine,
+            slot,
+            bytes,
+            msgs,
+        } => {
+            // One accounting call for the whole run: charges exactly what
+            // the per-message calls would have (the batch is still
+            // `count` logical messages totalling `bytes` on the wire).
+            let count = msgs.len() as u64;
+            let arrival = net.send_local_batch(now, machine, bytes, count);
+            queue.push(
+                arrival,
+                slot,
+                Envelope {
+                    gen,
+                    msg: M::wrap_batch(msgs),
+                },
+            );
+        }
+    }
+}
+
 /// The sequential executor: one global event queue, generation filtering
 /// and dispatch — the classic deterministic DES loop.
 ///
 /// The executor does not own the actors — [`Executor::run`] borrows an
 /// actor table ordered by [`Topology`] slot, so the embedding system keeps
 /// typed access to its actors for reporting and result collection.
+///
+/// Two transport optimizations are on by default and provably invisible
+/// to the simulation (same dispatch order, same virtual times, same
+/// network charges):
+///
+/// - the event queue is a calendar queue ([`QueueKind::Calendar`]); the
+///   original binary heap stays selectable via
+///   [`SequentialExecutor::set_queue_kind`] as a bit-identical oracle;
+/// - consecutive same-machine sends from one handler to one destination
+///   slot are coalesced into a single envelope (see [`Batchable`]) and
+///   unpacked at dispatch; [`SequentialExecutor::set_batching`] turns
+///   this off.
 pub struct SequentialExecutor<T: Topology, M> {
     topology: T,
     queue: EventQueue<Envelope<M>>,
     /// Safety valve for the event loop (a wedged protocol would otherwise
     /// spin forever). Defaults to effectively unlimited.
     pub max_events: u64,
+    /// Whether to coalesce same-destination send runs (only effective
+    /// when `M::CAN_BATCH`).
+    batching: bool,
+    /// Logical deliveries in excess of physical envelope pops: each
+    /// coalesced envelope of k messages adds k - 1 here.
+    extra_delivered: u64,
 }
 
 impl<T: Topology, M> SequentialExecutor<T, M> {
@@ -170,11 +268,110 @@ impl<T: Topology, M> SequentialExecutor<T, M> {
             topology,
             queue: EventQueue::new(),
             max_events: u64::MAX,
+            batching: true,
+            extra_delivered: 0,
         }
+    }
+
+    /// Selects the event-queue implementation. Pop order — and therefore
+    /// the whole run — is identical for every kind; only host-side cost
+    /// differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are pending.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        self.queue.set_kind(kind);
+    }
+
+    /// Enables or disables envelope batching (default on). Batching never
+    /// changes simulated quantities — it only reduces queue traffic — so
+    /// this switch exists for A/B verification and profiling.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+    }
+
+    /// Absorb with run coalescing: consecutive same-machine `Net` sends
+    /// to one destination slot share an arrival time (the local-latency
+    /// contract), so they travel as one envelope. Any send that breaks
+    /// the run (different destination, cross-machine, or an `At`) flushes
+    /// first, which keeps every network call in its unbatched order.
+    fn absorb_batched<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N)
+    where
+        M: Batchable,
+    {
+        let gen = ctx.gen;
+        let now = ctx.now;
+        let queue = &mut self.queue;
+        let topology = &self.topology;
+        let mut pending = PendingRun::None;
+        for s in ctx.drain_sends() {
+            match s {
+                crate::Send::Net {
+                    from,
+                    to,
+                    bytes,
+                    msg,
+                } => {
+                    let machine = topology.machine(to);
+                    let slot = topology.slot(to);
+                    if from == machine {
+                        pending = match std::mem::replace(&mut pending, PendingRun::None) {
+                            PendingRun::One {
+                                machine: m,
+                                slot: sl,
+                                bytes: b,
+                                msg: first,
+                            } if m == machine && sl == slot => PendingRun::Many {
+                                machine,
+                                slot,
+                                bytes: b + bytes,
+                                msgs: vec![first, msg],
+                            },
+                            PendingRun::Many {
+                                machine: m,
+                                slot: sl,
+                                bytes: b,
+                                mut msgs,
+                            } if m == machine && sl == slot => {
+                                msgs.push(msg);
+                                PendingRun::Many {
+                                    machine,
+                                    slot,
+                                    bytes: b + bytes,
+                                    msgs,
+                                }
+                            }
+                            mut other => {
+                                flush_run(&mut other, queue, net, now, gen);
+                                PendingRun::One {
+                                    machine,
+                                    slot,
+                                    bytes,
+                                    msg,
+                                }
+                            }
+                        };
+                    } else {
+                        flush_run(&mut pending, queue, net, now, gen);
+                        let arrival = net.send(now, from, machine, bytes);
+                        queue.push(arrival, slot, Envelope { gen, msg });
+                    }
+                }
+                crate::Send::At { at, to, msg } => {
+                    // An interleaved timer send would break the
+                    // consecutive-sequence argument; flush so only true
+                    // runs coalesce.
+                    flush_run(&mut pending, queue, net, now, gen);
+                    queue.push(at, topology.slot(to), Envelope { gen, msg });
+                }
+            }
+        }
+        flush_run(&mut pending, queue, net, now, gen);
     }
 }
 
-impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
+impl<T: Topology, M: Batchable> Executor<T, M> for SequentialExecutor<T, M> {
     fn topology(&self) -> &T {
         &self.topology
     }
@@ -184,7 +381,15 @@ impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
     }
 
     fn delivered(&self) -> u64 {
+        self.queue.delivered() + self.extra_delivered
+    }
+
+    fn envelopes(&self) -> u64 {
         self.queue.delivered()
+    }
+
+    fn queue_ops(&self) -> u64 {
+        self.queue.pushed() + self.queue.delivered()
     }
 
     fn pending(&self) -> usize {
@@ -197,6 +402,10 @@ impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
     }
 
     fn absorb<N: Network + ?Sized>(&mut self, ctx: &mut Ctx<T::Addr, M>, net: &mut N) {
+        if M::CAN_BATCH && self.batching {
+            self.absorb_batched(ctx, net);
+            return;
+        }
         let queue = &mut self.queue;
         absorb_sends_into(ctx, &self.topology, net, |time, slot, _machine, gen, msg| {
             queue.push(time, slot, Envelope { gen, msg });
@@ -214,6 +423,7 @@ impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
             self.topology.slots(),
             "actor table must cover every topology slot"
         );
+        self.queue.tune(net.time_quantum());
         // One context for the whole drain: its send buffer's capacity is
         // reused across events, so the steady-state loop never allocates.
         let mut ctx = Ctx::new(self.queue.now(), 0);
@@ -225,16 +435,40 @@ impl<T: Topology, M> Executor<T, M> for SequentialExecutor<T, M> {
             }
             let ev = self.queue.pop().expect("peeked event present");
             assert!(
-                self.queue.delivered() < self.max_events,
+                self.delivered() < self.max_events,
                 "event budget exceeded; protocol likely wedged"
             );
-            if dispatch(&mut *actors[ev.dst], &mut ctx, ev.time, ev.msg.gen, ev.msg.msg) {
+            let Envelope { gen, msg } = ev.msg;
+            if M::CAN_BATCH {
+                // A coalesced envelope dispatches each inner message in
+                // its original order, absorbing sends after each one and
+                // re-checking the generation per message — exactly the
+                // unbatched interleaving.
+                match msg.unwrap_batch() {
+                    Ok(batch) => {
+                        self.extra_delivered += batch.len() as u64 - 1;
+                        for inner in batch {
+                            if dispatch(&mut *actors[ev.dst], &mut ctx, ev.time, gen, inner) {
+                                self.absorb(&mut ctx, net);
+                            }
+                        }
+                        continue;
+                    }
+                    Err(single) => {
+                        if dispatch(&mut *actors[ev.dst], &mut ctx, ev.time, gen, single) {
+                            self.absorb(&mut ctx, net);
+                        }
+                        continue;
+                    }
+                }
+            }
+            if dispatch(&mut *actors[ev.dst], &mut ctx, ev.time, gen, msg) {
                 self.absorb(&mut ctx, net);
             }
         }
         ExecStats {
             now: self.queue.now(),
-            delivered: self.queue.delivered(),
+            delivered: self.delivered(),
             windows: 0,
         }
     }

@@ -191,6 +191,33 @@ pub trait Network {
         let _ = machine;
         0
     }
+
+    /// Accounts `count` same-machine messages totalling `total_bytes` in
+    /// one call, returning their (shared) arrival time. The local-delivery
+    /// contract above makes the arrival state- and bytes-independent, so
+    /// implementations must charge exactly what `count` individual
+    /// [`Network::send`] calls would have charged — this is the
+    /// sequential executor's fast path for coalesced same-machine batches,
+    /// and it must be observationally identical to the slow path.
+    fn send_local_batch(&mut self, now: Time, machine: usize, total_bytes: u64, count: u64) -> Time {
+        debug_assert!(count >= 1);
+        // Default: replicate `count` local sends (bytes lumped into the
+        // first — local arrivals are bytes-independent by contract, and
+        // byte *totals* per machine stay exact).
+        let mut arrival = self.send(now, machine, machine, total_bytes);
+        for _ in 1..count {
+            arrival = self.send(now, machine, machine, 0);
+        }
+        arrival
+    }
+
+    /// The smallest latency quantum this network produces (typically the
+    /// machine-local delivery latency): a hint the executors use to size
+    /// calendar-queue buckets. `0` (the default) means "no hint"; it never
+    /// affects results, only scheduling cost.
+    fn time_quantum(&self) -> Time {
+        0
+    }
 }
 
 /// The zero-latency network: every message arrives at its send time.
@@ -199,6 +226,43 @@ impl Network for () {
         now
     }
 }
+
+/// A message type the executors may coalesce: several messages bound for
+/// the same actor at the same delivery time can travel as one envelope
+/// and be unpacked at dispatch.
+///
+/// Coalescing is an executor-internal transport optimization — actors
+/// never see the wrapped form, because the executor unpacks it and
+/// dispatches each inner message individually (re-checking the
+/// generation per message). Implementations must round-trip exactly:
+/// `unwrap_batch(wrap_batch(v)) == Ok(v)`.
+///
+/// The default implementation opts out (`CAN_BATCH == false`), so plain
+/// payload types (`u64`, strings, ...) can implement the trait with an
+/// empty `impl` block and executors will never try to coalesce them.
+pub trait Batchable: Sized {
+    /// Whether the executor may coalesce runs of messages into envelopes.
+    const CAN_BATCH: bool = false;
+
+    /// Wraps `batch` (at least two messages) into one carrier message.
+    fn wrap_batch(batch: Vec<Self>) -> Self {
+        let _ = batch;
+        unreachable!("wrap_batch on a type with CAN_BATCH == false")
+    }
+
+    /// Recovers the messages of a carrier produced by
+    /// [`Batchable::wrap_batch`], or returns an ordinary message
+    /// unchanged as `Err`.
+    fn unwrap_batch(self) -> Result<Vec<Self>, Self> {
+        Err(self)
+    }
+}
+
+impl Batchable for () {}
+impl Batchable for u32 {}
+impl Batchable for u64 {}
+impl Batchable for String {}
+impl Batchable for &'static str {}
 
 /// A buffered outgoing message (applied by the executor after the handler
 /// returns, preserving in-handler ordering).

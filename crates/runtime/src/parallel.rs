@@ -62,10 +62,10 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::{Condvar, Mutex};
 
-use chaos_sim::Time;
+use chaos_sim::{CalendarQueue, QueueKind, Time};
 
 use crate::executor::{DynActor, ExecStats, Executor, SequentialExecutor};
-use crate::{Ctx, Network, Topology};
+use crate::{Batchable, Ctx, Network, Topology};
 
 /// An event queued in a lane, keyed by `(time, seq)` — `seq` is the global
 /// insertion order, identical to what the sequential backend's queue would
@@ -93,6 +93,111 @@ impl<M> Ord for QueuedEv<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap on (time, seq).
         (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A lane's pending-event store: the default calendar queue or the
+/// original binary heap, selectable as a bit-identical oracle (see
+/// [`chaos_sim::calendar`]). Pop order is `(time, seq)` either way.
+enum LaneQueue<M> {
+    Heap(BinaryHeap<QueuedEv<M>>),
+    Calendar(CalendarQueue<(usize, u32, M)>),
+}
+
+impl<M> LaneQueue<M> {
+    fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Heap => Self::Heap(BinaryHeap::new()),
+            QueueKind::Calendar => Self::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    fn push(&mut self, ev: QueuedEv<M>) {
+        match self {
+            Self::Heap(h) => h.push(ev),
+            Self::Calendar(c) => c.push(ev.time, ev.seq, (ev.slot, ev.gen, ev.msg)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedEv<M>> {
+        match self {
+            Self::Heap(h) => h.pop(),
+            Self::Calendar(c) => {
+                let (time, seq, (slot, gen, msg)) = c.pop()?;
+                Some(QueuedEv {
+                    time,
+                    seq,
+                    slot,
+                    gen,
+                    msg,
+                })
+            }
+        }
+    }
+
+    /// `(time, seq)` of the earliest event, if any. Takes `&mut` because
+    /// the calendar store may restage its earliest bucket; the pending
+    /// set is untouched.
+    fn peek_key(&mut self) -> Option<(Time, u64)> {
+        match self {
+            Self::Heap(h) => h.peek().map(|e| (e.time, e.seq)),
+            Self::Calendar(c) => c.peek_key(),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Heap(h) => h.len(),
+            Self::Calendar(c) => c.len(),
+        }
+    }
+
+    /// See [`chaos_sim::EventQueue::tune`].
+    fn tune(&mut self, quantum: Time) {
+        if let (Self::Calendar(c), Some(shift)) = (self, chaos_sim::shift_for_quantum(quantum)) {
+            c.set_shift(shift);
+        }
+    }
+}
+
+/// Undelivered cross-window arrivals bound for one lane, with the
+/// earliest arrival time memoized: the per-window `next_of` scan reads
+/// one field instead of re-walking every pending arrival (long
+/// solo-window streaks previously made that re-scan O(inbox) per
+/// window).
+struct Inbox<M> {
+    evs: Vec<QueuedEv<M>>,
+    /// Earliest arrival among `evs`; `Time::MAX` when empty (an event
+    /// *at* `Time::MAX` is disambiguated by `is_empty`).
+    min_time: Time,
+}
+
+impl<M> Inbox<M> {
+    fn new() -> Self {
+        Self {
+            evs: Vec::new(),
+            min_time: Time::MAX,
+        }
+    }
+
+    fn push(&mut self, ev: QueuedEv<M>) {
+        self.min_time = self.min_time.min(ev.time);
+        self.evs.push(ev);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.evs.is_empty()
+    }
+
+    /// Drains the arrivals (for delivery into the lane queue), resetting
+    /// the memo.
+    fn take(&mut self) -> Vec<QueuedEv<M>> {
+        self.min_time = Time::MAX;
+        std::mem::take(&mut self.evs)
     }
 }
 
@@ -243,7 +348,7 @@ enum Cmd<M> {
 enum WorkerMsg<M> {
     /// All of this worker's active lanes for the window, in one message.
     Out(Vec<LaneOut<M>>),
-    Lanes(Vec<(usize, BinaryHeap<QueuedEv<M>>)>),
+    Lanes(Vec<(usize, LaneQueue<M>)>),
 }
 
 /// The one lane-enqueue definition (used by `post`/`absorb` alike): clamps
@@ -251,7 +356,7 @@ enum WorkerMsg<M> {
 /// into the destination machine's lane.
 #[allow(clippy::too_many_arguments)]
 fn enqueue_lane<M>(
-    lanes: &mut [BinaryHeap<QueuedEv<M>>],
+    lanes: &mut [LaneQueue<M>],
     seq: &mut u64,
     now: Time,
     time: Time,
@@ -279,7 +384,7 @@ type LaneActor<'a, A, M> = (usize, DynActor<'a, A, M>);
 /// overlay, and exclusive mutable access to the actors it hosts.
 struct WorkerLane<'a, A, M> {
     id: usize,
-    queue: BinaryHeap<QueuedEv<M>>,
+    queue: LaneQueue<M>,
     overlay: BinaryHeap<OverlayEv<M>>,
     actors: Vec<LaneActor<'a, A, M>>,
 }
@@ -394,7 +499,8 @@ fn spin_budget(workers: usize) -> u32 {
 pub struct ParallelExecutor<T: Topology, M> {
     topology: T,
     threads: usize,
-    lanes: Vec<BinaryHeap<QueuedEv<M>>>,
+    queue_kind: QueueKind,
+    lanes: Vec<LaneQueue<M>>,
     /// Global insertion-order counter (mirrors the sequential queue's).
     seq: u64,
     now: Time,
@@ -411,10 +517,12 @@ impl<T: Topology, M> ParallelExecutor<T, M> {
     /// time; zero behaves as one).
     pub fn new(topology: T, threads: usize) -> Self {
         let nlanes = topology.machines().max(1);
+        let queue_kind = QueueKind::default();
         Self {
-            lanes: (0..nlanes).map(|_| BinaryHeap::new()).collect(),
+            lanes: (0..nlanes).map(|_| LaneQueue::new(queue_kind)).collect(),
             topology,
             threads: threads.max(1),
+            queue_kind,
             seq: 0,
             now: 0,
             delivered: 0,
@@ -426,6 +534,27 @@ impl<T: Topology, M> ParallelExecutor<T, M> {
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Which store backs the lane queues.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue_kind
+    }
+
+    /// Replaces the lane-queue store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are pending (switching mid-run is not supported).
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        assert!(
+            self.lanes.iter().map(LaneQueue::len).sum::<usize>() == 0,
+            "cannot switch queue kind with events pending"
+        );
+        self.queue_kind = kind;
+        for lane in &mut self.lanes {
+            *lane = LaneQueue::new(kind);
+        }
     }
 
     /// Synchronization windows executed so far.
@@ -472,10 +601,10 @@ impl<T: Topology, M> ParallelExecutor<T, M> {
         let mut ctx = Ctx::new(self.now, 0);
         loop {
             let mut best: Option<(Time, u64, usize)> = None;
-            for (l, q) in self.lanes.iter().enumerate() {
-                if let Some(e) = q.peek() {
-                    if best.is_none_or(|(t, s, _)| (e.time, e.seq) < (t, s)) {
-                        best = Some((e.time, e.seq, l));
+            for (l, q) in self.lanes.iter_mut().enumerate() {
+                if let Some((t, s)) = q.peek_key() {
+                    if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                        best = Some((t, s, l));
                     }
                 }
             }
@@ -516,7 +645,13 @@ where
     }
 
     fn pending(&self) -> usize {
-        self.lanes.iter().map(BinaryHeap::len).sum()
+        self.lanes.iter().map(LaneQueue::len).sum()
+    }
+
+    fn queue_ops(&self) -> u64 {
+        // Every send (queued or overlay-consumed) claims one insertion
+        // order, so `seq` counts the pushes; pops equal deliveries.
+        self.seq + self.delivered
     }
 
     fn post(&mut self, at: Time, to: T::Addr, gen: u32, msg: M) {
@@ -541,6 +676,10 @@ where
             "actor table must cover every topology slot"
         );
         let lookahead = net.min_latency();
+        let quantum = net.time_quantum();
+        for lane in &mut self.lanes {
+            lane.tune(quantum);
+        }
         let nlanes = self.lanes.len();
         let workers = self.threads.min(nlanes);
         if workers <= 1 || lookahead == 0 {
@@ -566,8 +705,8 @@ where
         // Run state lives in locals so the topology can be shared with the
         // workers while the coordinator mutates counters and inboxes.
         let mut lanes = std::mem::take(&mut self.lanes);
-        let mut heads: Vec<Option<Time>> = lanes.iter().map(|q| q.peek().map(|e| e.time)).collect();
-        let mut inboxes: Vec<Vec<QueuedEv<M>>> = (0..nlanes).map(|_| Vec::new()).collect();
+        let mut heads: Vec<Option<Time>> = lanes.iter_mut().map(LaneQueue::peek_time).collect();
+        let mut inboxes: Vec<Inbox<M>> = (0..nlanes).map(|_| Inbox::new()).collect();
         let mut seq = self.seq;
         let mut now = self.now;
         let mut delivered = self.delivered;
@@ -581,8 +720,7 @@ where
         let spin = spin_budget(workers);
         let slots: Vec<SyncSlot<M>> = (0..workers).map(|_| SyncSlot::new()).collect();
 
-        let mut returned: Vec<Option<BinaryHeap<QueuedEv<M>>>> =
-            (0..nlanes).map(|_| None).collect();
+        let mut returned: Vec<Option<LaneQueue<M>>> = (0..nlanes).map(|_| None).collect();
         let mut tail_at_max = false;
 
         std::thread::scope(|s| {
@@ -618,9 +756,9 @@ where
             loop {
                 // The next window starts at the earliest pending event
                 // anywhere (lane queues or undelivered inbox arrivals).
-                let next_of = |l: usize, heads: &[Option<Time>], inboxes: &[Vec<QueuedEv<M>>]| {
+                let next_of = |l: usize, heads: &[Option<Time>], inboxes: &[Inbox<M>]| {
                     let h = heads[l];
-                    let i = inboxes[l].iter().map(|e| e.time).min();
+                    let i = (!inboxes[l].is_empty()).then_some(inboxes[l].min_time);
                     match (h, i) {
                         (None, None) => None,
                         (a, b) => Some(a.unwrap_or(Time::MAX).min(b.unwrap_or(Time::MAX))),
@@ -683,7 +821,7 @@ where
                         active[l] = true;
                         per_worker[lane_worker[l]].push(LaneCmd {
                             lane: l,
-                            deliveries: std::mem::take(&mut inboxes[l]),
+                            deliveries: inboxes[l].take(),
                             records: std::mem::take(&mut spare_records[l]),
                             sends: std::mem::take(&mut spare_sends[l]),
                         });
@@ -768,7 +906,7 @@ where
             .map(|q| q.expect("every lane returned"))
             .collect();
         for (l, inbox) in inboxes.into_iter().enumerate() {
-            for ev in inbox {
+            for ev in inbox.evs {
                 self.lanes[l].push(ev);
             }
         }
@@ -819,7 +957,7 @@ fn replay<M, N: Network + ?Sized>(
     seq: &mut u64,
     now: &mut Time,
     delivered: &mut u64,
-    inboxes: &mut [Vec<QueuedEv<M>>],
+    inboxes: &mut [Inbox<M>],
     scratch: &mut ReplayScratch,
 ) {
     let nlanes = outs.len();
@@ -1040,13 +1178,13 @@ where
         // insertion orders than spawned ones).
         let bound = end.min(cap);
         let take_queue = match (
-            lane.queue.peek().filter(|e| e.time < bound),
-            lane.overlay.peek().filter(|e| e.time < bound),
+            lane.queue.peek_key().filter(|(t, _)| *t < bound),
+            lane.overlay.peek().map(|e| e.time).filter(|t| *t < bound),
         ) {
             (None, None) => break,
             (Some(_), None) => true,
             (None, Some(_)) => false,
-            (Some(q), Some(o)) => q.time <= o.time,
+            (Some((q, _)), Some(o)) => q <= o,
         };
         let (time, slot, env_gen, msg, origin) = if take_queue {
             let e = lane.queue.pop().expect("peeked event present");
@@ -1217,7 +1355,7 @@ where
         lane: lane.id,
         records,
         sends,
-        next: lane.queue.peek().map(|e| e.time),
+        next: lane.queue.peek_time(),
     }
 }
 
@@ -1249,12 +1387,30 @@ impl<T: Topology, M> BackendExecutor<T, M> {
             Self::Parallel(e) => e.max_events = max,
         }
     }
+
+    /// Selects the event-queue store (calendar or binary heap) on
+    /// whichever backend is active. Panics if events are pending.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        match self {
+            Self::Sequential(e) => e.set_queue_kind(kind),
+            Self::Parallel(e) => e.set_queue_kind(kind),
+        }
+    }
+
+    /// Enables or disables same-machine envelope batching. Only the
+    /// sequential backend batches; the parallel one ignores this (its
+    /// reports are invariant either way).
+    pub fn set_batching(&mut self, on: bool) {
+        if let Self::Sequential(e) = self {
+            e.set_batching(on);
+        }
+    }
 }
 
 impl<T, M> Executor<T, M> for BackendExecutor<T, M>
 where
     T: Topology + Sync,
-    M: std::marker::Send,
+    M: std::marker::Send + Batchable,
 {
     fn topology(&self) -> &T {
         match self {
@@ -1274,6 +1430,20 @@ where
         match self {
             Self::Sequential(e) => e.delivered(),
             Self::Parallel(e) => e.delivered(),
+        }
+    }
+
+    fn envelopes(&self) -> u64 {
+        match self {
+            Self::Sequential(e) => e.envelopes(),
+            Self::Parallel(e) => e.envelopes(),
+        }
+    }
+
+    fn queue_ops(&self) -> u64 {
+        match self {
+            Self::Sequential(e) => e.queue_ops(),
+            Self::Parallel(e) => e.queue_ops(),
         }
     }
 

@@ -1,69 +1,91 @@
 #!/usr/bin/env bash
-# Bench smoke: run the Figure 7 harness on both execution backends, in the
-# dense-streaming reference mode, AND on the unclustered edge layout;
-# verify the invariants (backend- and reference-mode output byte-identical;
-# computed results byte-identical across chunk layouts via the states
-# digest), and record wall-clock timings plus the hot-path metrics
-# (records streamed per wall-second, records skipped — total and
-# mid-wavefront) to BENCH_pr5.json.
+# Bench smoke: run the Figure 7 harness across every host-side
+# configuration axis — both execution backends, the dense-streaming
+# reference mode, the unclustered edge layout, the binary-heap event
+# queue and with envelope batching disabled — and verify the invariants:
+# stdout byte-identical across backends, streaming modes, queue kinds and
+# batching; computed results byte-identical across chunk layouts via the
+# states digest. Wall-clock timings plus the hot-path metrics (record
+# throughput, skip counts, and the event-loop dispatch account parsed
+# from the sequential run's stderr) land in BENCH_pr6.json.
 #
-# When a BENCH_pr4.json baseline is present (repo root), the run fails if
+# The first run doubles as a warm-up for the on-disk RMAT cache
+# (target/rmat-cache), so the timed sequential run measures the engine,
+# not the graph generator. BENCH_NO_CACHE=1 disables the cache for every
+# run.
+#
+# When a BENCH_pr5.json baseline is present (repo root), the run fails if
 # sequential wall time regressed more than 10% against it — the perf gate
-# for the clustered-layout / chunk-summary hot paths.
+# for the calendar-queue / batching / local-send event-loop core.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT_JSON="${1:-BENCH_pr5.json}"
+OUT_JSON="${1:-BENCH_pr6.json}"
 EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
 PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr4.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr5.json}"
+CACHE_FLAG=()
+if [ "${BENCH_NO_CACHE:-0}" = "1" ]; then
+    CACHE_FLAG=(--no-cache)
+fi
 
 cargo build --release -p chaos-bench --bin figures
 
 BIN=./target/release/figures
 SEQ_OUT=$(mktemp)
+SEQ_ERR=$(mktemp)
 PAR_OUT=$(mktemp)
 REF_OUT=$(mktemp)
 FLAT_OUT=$(mktemp)
+HEAP_OUT=$(mktemp)
+NOBATCH_OUT=$(mktemp)
 ERR_LOG=$(mktemp)
-trap 'rm -f "$SEQ_OUT" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$ERR_LOG"' EXIT
+trap 'rm -f "$SEQ_OUT" "$SEQ_ERR" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$HEAP_OUT" "$NOBATCH_OUT" "$ERR_LOG"' EXIT
 
 # Keep stderr (panics, asserts) out of the compared output but dump it on
 # failure so CI logs show *why* a run died, not just that it did.
 run_mode() {
-    local out="$1"
-    shift
-    if ! "$BIN" "$EXPERIMENT" "$@" >"$out" 2>"$ERR_LOG"; then
+    local out="$1" err="$2"
+    shift 2
+    if ! "$BIN" "$EXPERIMENT" "${CACHE_FLAG[@]}" "$@" >"$out" 2>"$err"; then
         echo "FAIL: $EXPERIMENT $* exited nonzero; stderr:" >&2
-        cat "$ERR_LOG" >&2
+        cat "$err" >&2
         exit 1
     fi
 }
 
+# The heap-queue run goes first: it doubles as the RMAT disk-cache
+# warm-up, so the gated sequential run below measures the event loop, not
+# graph generation (exactly what the BENCH baselines compare).
 t0=$(date +%s.%N)
-run_mode "$SEQ_OUT" --backend seq
+run_mode "$HEAP_OUT" "$ERR_LOG" --backend seq --queue heap
 t1=$(date +%s.%N)
-run_mode "$PAR_OUT" --backend "$PAR_BACKEND"
+run_mode "$SEQ_OUT" "$SEQ_ERR" --backend seq
 t2=$(date +%s.%N)
-run_mode "$REF_OUT" --backend seq --streaming reference
+run_mode "$NOBATCH_OUT" "$ERR_LOG" --backend seq --batching off
 t3=$(date +%s.%N)
-run_mode "$FLAT_OUT" --backend seq --cluster-bins 1
+run_mode "$PAR_OUT" "$ERR_LOG" --backend "$PAR_BACKEND"
 t4=$(date +%s.%N)
+run_mode "$REF_OUT" "$ERR_LOG" --backend seq --streaming reference
+t5=$(date +%s.%N)
+run_mode "$FLAT_OUT" "$ERR_LOG" --backend seq --cluster-bins 1
+t6=$(date +%s.%N)
 
-if ! cmp -s "$SEQ_OUT" "$PAR_OUT"; then
-    echo "FAIL: $EXPERIMENT output differs between backends" >&2
-    diff "$SEQ_OUT" "$PAR_OUT" | head -40 >&2
-    exit 1
-fi
-echo "OK: $EXPERIMENT output is byte-identical across backends"
-if ! cmp -s "$SEQ_OUT" "$REF_OUT"; then
-    echo "FAIL: $EXPERIMENT output differs between selective and dense-reference streaming" >&2
-    diff "$SEQ_OUT" "$REF_OUT" | head -40 >&2
-    exit 1
-fi
-echo "OK: $EXPERIMENT output is byte-identical vs the dense-streaming reference mode"
+check_identical() {
+    local other="$1" what="$2"
+    if ! cmp -s "$SEQ_OUT" "$other"; then
+        echo "FAIL: $EXPERIMENT output differs $what" >&2
+        diff "$SEQ_OUT" "$other" | head -40 >&2
+        exit 1
+    fi
+    echo "OK: $EXPERIMENT output is byte-identical $what"
+}
+check_identical "$HEAP_OUT" "between the calendar and binary-heap event queues"
+check_identical "$NOBATCH_OUT" "with envelope batching on vs off"
+check_identical "$PAR_OUT" "across backends"
+check_identical "$REF_OUT" "vs the dense-streaming reference mode"
 
 # Across layouts the timings and skip counts legitimately differ (narrow
 # windows skip more), but the computed results may not: the per-figure
@@ -78,11 +100,13 @@ if [ -z "$SEQ_DIGEST" ] || [ "$SEQ_DIGEST" != "$FLAT_DIGEST" ]; then
 fi
 echo "OK: $EXPERIMENT results are byte-identical across clustered/unclustered layouts"
 
-SEQ_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
-PAR_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
-REF_S=$(python3 -c "print(f'{$t3 - $t2:.2f}')")
-FLAT_S=$(python3 -c "print(f'{$t4 - $t3:.2f}')")
-SPEEDUP=$(python3 -c "print(f'{($t1 - $t0) / ($t2 - $t1):.3f}')")
+HEAP_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
+SEQ_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
+NOBATCH_S=$(python3 -c "print(f'{$t3 - $t2:.2f}')")
+PAR_S=$(python3 -c "print(f'{$t4 - $t3:.2f}')")
+REF_S=$(python3 -c "print(f'{$t5 - $t4:.2f}')")
+FLAT_S=$(python3 -c "print(f'{$t6 - $t5:.2f}')")
+SPEEDUP=$(python3 -c "print(f'{($t2 - $t1) / ($t4 - $t3):.3f}')")
 NCPU=$(nproc 2>/dev/null || echo 0)
 # The fig7 harness prints the records-streamed/skipped totals (simulated,
 # backend- and mode-invariant quantities); throughput = records per seq
@@ -93,7 +117,19 @@ SKIPPED=$(sed -n 's/^records skipped: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 SKIPPED=${SKIPPED:-0}
 SKIPPED_MID=$(sed -n 's/^records skipped mid-wavefront: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 SKIPPED_MID=${SKIPPED_MID:-0}
-THROUGHPUT=$(python3 -c "print(f'{$RECORDS / ($t1 - $t0):.0f}')")
+THROUGHPUT=$(python3 -c "print(f'{$RECORDS / ($t2 - $t1):.0f}')")
+# The event-loop dispatch account is host-side provenance (it legitimately
+# differs across queue/batching configs), so the figures binary prints it
+# to stderr; parse the gated sequential run's line.
+DISPATCH=$(sed -n 's/^dispatch stats: //p' "$SEQ_ERR" | tail -1)
+EVENTS=$(sed -n 's/.*events=\([0-9]*\).*/\1/p' <<<"$DISPATCH")
+EVENTS=${EVENTS:-0}
+ENVELOPES=$(sed -n 's/.*envelopes=\([0-9]*\).*/\1/p' <<<"$DISPATCH")
+ENVELOPES=${ENVELOPES:-0}
+RATIO=$(sed -n 's/.*ratio=\([0-9.]*\).*/\1/p' <<<"$DISPATCH")
+RATIO=${RATIO:-1.0}
+QUEUE_OPS=$(sed -n 's/.*queue-ops=\([0-9]*\).*/\1/p' <<<"$DISPATCH")
+QUEUE_OPS=${QUEUE_OPS:-0}
 
 cat >"$OUT_JSON" <<EOF
 {
@@ -105,11 +141,17 @@ cat >"$OUT_JSON" <<EOF
   },
   "reference_streaming_seq_wall_seconds": $REF_S,
   "unclustered_layout_seq_wall_seconds": $FLAT_S,
+  "heap_queue_seq_wall_seconds": $HEAP_S,
+  "unbatched_seq_wall_seconds": $NOBATCH_S,
   "seq_over_par_speedup": $SPEEDUP,
   "records_streamed": $RECORDS,
   "records_skipped": $SKIPPED,
   "records_skipped_mid_wavefront": $SKIPPED_MID,
   "records_per_wall_second_seq": $THROUGHPUT,
+  "events_dispatched": $EVENTS,
+  "envelopes_sent": $ENVELOPES,
+  "batching_ratio": $RATIO,
+  "queue_ops": $QUEUE_OPS,
   "identical_output": true,
   "host_cpus": $NCPU,
   "recorded_utc": "$(date -u +%FT%TZ)"

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use chaos_algos::{AlgoParams, ALGO_NAMES};
     pub use chaos_core::{
         run_chaos, Backend, ChaosConfig, Cluster, FailureSpec, IterSelectivity, Placement,
-        RunReport, Streaming,
+        QueueKind, RunReport, Streaming,
     };
     pub use chaos_gas::{
         run_sequential, ActiveSet, ActivityModel, Control, Direction, GasProgram,
