@@ -5,17 +5,20 @@
 //!
 //! ```text
 //! cellstats PR 4 14 [seq|par:N] [selective|reference|dense] \
-//!     [--bins N] [--queue calendar|heap] [--batching on|off] [--iters]
+//!     [--bins N] [--block-records N] [--queue calendar|heap] \
+//!     [--batching on|off] [--iters] [--metrics-json <path>]
 //! ```
 //!
 //! `--bins N` overrides the clustered-layout bin count (1 = unclustered
-//! arrival-order layout). `--queue` and `--batching` probe the event-loop
-//! core (host-side only — the simulated columns never move). `--iters`
-//! adds a per-iteration table:
-//! active-vertex fraction, chunks and records skipped (split into
-//! empty-frontier and mid-wavefront skips), and tombstone/compaction
-//! counts — the shape of a frontier collapsing or a Borůvka contraction
-//! eating the edge set.
+//! arrival-order layout). `--block-records N` overrides the sub-chunk
+//! block-index granularity (0 = chunk-granularity serves). `--queue` and
+//! `--batching` probe the event-loop core (host-side only — the simulated
+//! columns never move). `--iters` adds a per-iteration table:
+//! active-vertex fraction, chunks/records and blocks/records skipped
+//! (split into empty-frontier and mid-wavefront skips), and
+//! tombstone/compaction counts — the shape of a frontier collapsing or a
+//! Borůvka contraction eating the edge set. `--metrics-json <path>` dumps
+//! the run's report plus per-iteration selectivity as stable JSON.
 
 use std::time::Instant;
 
@@ -33,6 +36,24 @@ fn main() {
             Some(b) if b > 0 => Some(b),
             _ => panic!("--bins needs a positive integer (1 = unclustered)"),
         };
+        args.drain(i..=i + 1);
+    }
+    let mut block_records: Option<u32> = None;
+    if let Some(i) = args.iter().position(|a| a == "--block-records") {
+        block_records = Some(
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--block-records needs a record count (0 = chunk-granularity)"),
+        );
+        args.drain(i..=i + 1);
+    }
+    let mut metrics_json: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--metrics-json") {
+        metrics_json = Some(
+            args.get(i + 1)
+                .cloned()
+                .expect("--metrics-json needs an output path"),
+        );
         args.drain(i..=i + 1);
     }
     let mut queue = QueueKind::default();
@@ -83,6 +104,9 @@ fn main() {
     if let Some(b) = bins {
         cfg.cluster_bins = b;
     }
+    if let Some(br) = block_records {
+        cfg.block_records = br;
+    }
     let t0 = Instant::now();
     let params = AlgoParams::default();
     let rep = with_algo!(algo.as_str(), &params, |p| run_chaos(cfg, p, &g).0);
@@ -124,6 +148,15 @@ fn main() {
         rep.compactions(),
         rep.edges_tombstoned(),
     );
+    // Sub-chunk selectivity: blocks the block indexes proved inactive
+    // inside chunks that were otherwise served (zero with
+    // `--block-records 0` or under dense activity).
+    println!(
+        "block selectivity: {} blocks skipped inside served chunks \
+         ({} records never read or streamed)",
+        rep.blocks_skipped(),
+        rep.records_skipped_intra(),
+    );
     // The layout's direct observable: how narrow the stored chunk windows
     // are relative to their partition's span.
     let h = &rep.window_widths;
@@ -150,27 +183,37 @@ fn main() {
     );
     if per_iter {
         println!(
-            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "{:>5} {:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
             "iter",
             "active%",
             "chunks-skp",
             "records-skp",
             "skp-empty",
             "skp-mid",
+            "blocks-skp",
+            "skp-intra",
             "tombstoned",
             "compactions"
         );
         for (i, s) in rep.selectivity.iter().enumerate() {
             println!(
-                "{i:>5} {:>7.1}% {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "{i:>5} {:>7.1}% {:>10} {:>12} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
                 100.0 * s.active_fraction(),
                 s.chunks_skipped,
                 s.records_skipped,
                 s.records_skipped - s.records_skipped_mid,
                 s.records_skipped_mid,
+                s.blocks_skipped,
+                s.records_skipped_intra,
                 s.edges_tombstoned,
                 s.compactions,
             );
         }
+    }
+    if let Some(path) = metrics_json {
+        let label = format!("{algo}/m{machines}");
+        let dump = chaos_bench::metrics_json(&[(label, rep)]);
+        std::fs::write(&path, dump).expect("write metrics json");
+        eprintln!("[metrics-json] wrote 1 run to {path}");
     }
 }

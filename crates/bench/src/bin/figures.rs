@@ -30,6 +30,17 @@
 //! combination (`bench_smoke.sh` byte-compares the cross), and the
 //! dispatch accounting that *does* differ goes to stderr.
 //!
+//! `--block-records N` overrides the sub-chunk block-index granularity
+//! (0 = chunk-granularity serves, the pre-block behavior). Like the bin
+//! count a layout knob: skip counts differ, states digests do not.
+//!
+//! `--dataset <path>` replaces the RMAT generator with an external edge
+//! list (binary web-graph format, or `src dst [weight]` text) for every
+//! run; experiments keep their machine sweeps on that one graph.
+//!
+//! `--metrics-json <path>` dumps every run's report plus per-iteration
+//! selectivity as stable JSON after the experiments finish.
+//!
 //! `--no-cache` bypasses the on-disk RMAT graph cache (default location
 //! `target/rmat-cache`, override with `CHAOS_RMAT_CACHE`).
 
@@ -85,6 +96,39 @@ fn main() -> ExitCode {
         };
         args.drain(i..=i + 1);
     }
+    let mut block_records: Option<u32> = None;
+    while let Some(i) = args.iter().position(|a| a == "--block-records") {
+        let Some(spec) = args.get(i + 1) else {
+            eprintln!("--block-records needs a record count (0 = chunk-granularity serves)");
+            return ExitCode::FAILURE;
+        };
+        block_records = match spec.parse() {
+            Ok(b) => Some(b),
+            Err(_) => {
+                eprintln!("bad --block-records value {spec:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.drain(i..=i + 1);
+    }
+    let mut dataset: Option<String> = None;
+    while let Some(i) = args.iter().position(|a| a == "--dataset") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--dataset needs a path to a binary or text edge list");
+            return ExitCode::FAILURE;
+        };
+        dataset = Some(path.clone());
+        args.drain(i..=i + 1);
+    }
+    let mut metrics_json: Option<String> = None;
+    while let Some(i) = args.iter().position(|a| a == "--metrics-json") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--metrics-json needs an output path");
+            return ExitCode::FAILURE;
+        };
+        metrics_json = Some(path.clone());
+        args.drain(i..=i + 1);
+    }
     while let Some(i) = args.iter().position(|a| a == "--streaming") {
         let Some(spec) = args.get(i + 1) else {
             eprintln!("--streaming needs a value: selective, reference or dense");
@@ -137,6 +181,7 @@ fn main() -> ExitCode {
         .with_backend(backend)
         .with_streaming(streaming)
         .with_cluster_bins(cluster_bins)
+        .with_block_records(block_records)
         .with_queue(queue)
         .with_batching(batching)
         .with_disk_cache(!no_cache);
@@ -148,21 +193,32 @@ fn main() -> ExitCode {
                 println!("  {id:<10} {what}");
             }
         }
-        Some("all") => {
+        Some(first) => {
             let h = Harness::new(scale);
-            for (id, _) in EXPERIMENTS {
-                run_experiment(id, &h);
-                eprintln!("[{:7.1}s elapsed]", h.elapsed());
+            if let Some(path) = &dataset {
+                if let Err(e) = h.set_dataset(std::path::Path::new(path)) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            println!("\nall experiments done in {:.1}s wall clock", h.elapsed());
-            dispatch_stats(&h);
-        }
-        Some(_) => {
-            let h = Harness::new(scale);
-            for id in ids {
-                run_experiment(id, &h);
+            if first == "all" {
+                for (id, _) in EXPERIMENTS {
+                    run_experiment(id, &h);
+                    eprintln!("[{:7.1}s elapsed]", h.elapsed());
+                }
+                println!("\nall experiments done in {:.1}s wall clock", h.elapsed());
+            } else {
+                for id in ids {
+                    run_experiment(id, &h);
+                }
             }
             dispatch_stats(&h);
+            if let Some(path) = &metrics_json {
+                if let Err(e) = h.write_metrics_json(std::path::Path::new(path)) {
+                    eprintln!("error: cannot write metrics to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
     ExitCode::SUCCESS

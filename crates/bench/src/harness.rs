@@ -39,6 +39,11 @@ pub struct Scale {
     /// (`bench_smoke.sh` compares them), while timings and skip counts
     /// legitimately differ.
     pub cluster_bins: Option<u32>,
+    /// Block-index granularity override (`None` keeps the config default,
+    /// `Some(0)` disables block indexing — chunk-granularity serves).
+    /// Like the bin count, a layout knob: the "states digest" lines are
+    /// byte-identical across values while skip counts differ.
+    pub block_records: Option<u32>,
     /// Event-queue store for every run. Like the backend, a pure host-side
     /// choice: figure output is bit-identical across queue kinds.
     pub queue: QueueKind,
@@ -62,6 +67,7 @@ impl Scale {
             backend: Backend::Sequential,
             streaming: Streaming::Selective,
             cluster_bins: None,
+            block_records: None,
             queue: QueueKind::default(),
             batching: true,
             disk_cache: true,
@@ -79,6 +85,7 @@ impl Scale {
             backend: Backend::Sequential,
             streaming: Streaming::Selective,
             cluster_bins: None,
+            block_records: None,
             queue: QueueKind::default(),
             batching: true,
             disk_cache: true,
@@ -100,6 +107,12 @@ impl Scale {
     /// The same sizing with a clustered-layout bin override.
     pub fn with_cluster_bins(mut self, bins: Option<u32>) -> Self {
         self.cluster_bins = bins;
+        self
+    }
+
+    /// The same sizing with a block-index granularity override.
+    pub fn with_block_records(mut self, block_records: Option<u32>) -> Self {
+        self.block_records = block_records;
         self
     }
 
@@ -135,14 +148,24 @@ pub struct Harness {
     pub params: AlgoParams,
     graphs: GraphCache,
     webgraphs: WebGraphCache,
+    /// External dataset replacing the RMAT generator when set (see
+    /// [`Harness::set_dataset`]): the loaded edge list, memoized per
+    /// (undirected, weighted) shaping.
+    dataset: RefCell<Option<Rc<InputGraph>>>,
+    dataset_shaped: RefCell<HashMap<(bool, bool), Rc<InputGraph>>>,
     start: Instant,
     records: Cell<u64>,
     skipped: Cell<u64>,
     skipped_mid: Cell<u64>,
+    blocks_skipped: Cell<u64>,
+    skipped_intra: Cell<u64>,
     digest: Cell<u64>,
     events: Cell<u64>,
     envelopes: Cell<u64>,
     queue_ops: Cell<u64>,
+    /// Every run's report in drive order, labeled `algo/m<machines>`, for
+    /// the `--metrics-json` dump.
+    reports: RefCell<Vec<(String, RunReport)>>,
 }
 
 /// FNV-1a over the storage encodings of the final vertex states — a
@@ -171,14 +194,19 @@ impl Harness {
             params: AlgoParams::default(),
             graphs: Rc::new(RefCell::new(HashMap::new())),
             webgraphs: Rc::new(RefCell::new(HashMap::new())),
+            dataset: RefCell::new(None),
+            dataset_shaped: RefCell::new(HashMap::new()),
             start: Instant::now(),
             records: Cell::new(0),
             skipped: Cell::new(0),
             skipped_mid: Cell::new(0),
+            blocks_skipped: Cell::new(0),
+            skipped_intra: Cell::new(0),
             digest: Cell::new(0xcbf2_9ce4_8422_2325),
             events: Cell::new(0),
             envelopes: Cell::new(0),
             queue_ops: Cell::new(0),
+            reports: RefCell::new(Vec::new()),
         }
     }
 
@@ -208,6 +236,20 @@ impl Harness {
     /// clustered layout's direct contribution.
     pub fn records_skipped_mid(&self) -> u64 {
         self.skipped_mid.get()
+    }
+
+    /// Blocks skipped *inside* served chunks by their block indexes,
+    /// summed over every run so far — the sub-chunk selectivity the
+    /// key-sorted interiors buy (simulated, backend- and mode-invariant;
+    /// zero with `--block-records 0`).
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped.get()
+    }
+
+    /// Records in those skipped blocks: edges neither read nor streamed
+    /// even though their chunk was served.
+    pub fn records_skipped_intra(&self) -> u64 {
+        self.skipped_intra.get()
     }
 
     /// Combined fingerprint of the final vertex states of every run so
@@ -258,6 +300,9 @@ impl Harness {
     pub fn rmat_for(&self, scale: u32, algo: &str) -> Rc<InputGraph> {
         let undirected = needs_undirected(algo);
         let weighted = needs_weights(algo);
+        if self.dataset.borrow().is_some() {
+            return self.dataset_for(undirected, weighted);
+        }
         let key = (scale, undirected, weighted);
         if let Some(g) = self.graphs.borrow().get(&key) {
             return Rc::clone(g);
@@ -289,6 +334,61 @@ impl Harness {
         g
     }
 
+    /// Replaces the RMAT generator with an external edge-list dataset for
+    /// every subsequent run: the binary web-graph format written by
+    /// [`chaos_graph::io::write_binary`], falling back to the plain
+    /// `src dst [weight]` text format. Experiments keep their machine
+    /// sweeps but run every cell on this one graph (shaped per algorithm:
+    /// undirected expansion, and synthesized deterministic weights when a
+    /// weighted algorithm meets an unweighted dataset).
+    ///
+    /// # Errors
+    ///
+    /// Returns the loader's message when the file parses as neither
+    /// format.
+    pub fn set_dataset(&self, path: &std::path::Path) -> Result<(), String> {
+        let g = chaos_graph::io::read_binary(path)
+            .or_else(|_| chaos_graph::io::read_text(path))
+            .map_err(|e| format!("cannot load dataset {}: {e}", path.display()))?;
+        eprintln!(
+            "[dataset] {}: {} vertices, {} edges{}",
+            path.display(),
+            g.num_vertices,
+            g.num_edges(),
+            if g.weighted { ", weighted" } else { "" },
+        );
+        *self.dataset.borrow_mut() = Some(Rc::new(g));
+        self.dataset_shaped.borrow_mut().clear();
+        Ok(())
+    }
+
+    /// The loaded dataset shaped for an algorithm class, memoized.
+    fn dataset_for(&self, undirected: bool, weighted: bool) -> Rc<InputGraph> {
+        if let Some(g) = self.dataset_shaped.borrow().get(&(undirected, weighted)) {
+            return Rc::clone(g);
+        }
+        let base = Rc::clone(self.dataset.borrow().as_ref().expect("dataset loaded"));
+        let mut g = (*base).clone();
+        if weighted && !g.weighted {
+            // Deterministic synthetic weights in (0, 1], a function of the
+            // endpoints only — independent of edge order and of how the
+            // dataset was stored.
+            for e in &mut g.edges {
+                let h = chaos_sim::rng::mix2(e.src, e.dst);
+                e.weight = (h % 1000 + 1) as f32 / 1000.0;
+            }
+            g.weighted = true;
+        }
+        if undirected {
+            g = g.to_undirected();
+        }
+        let g = Rc::new(g);
+        self.dataset_shaped
+            .borrow_mut()
+            .insert((undirected, weighted), Rc::clone(&g));
+        g
+    }
+
     /// Synthetic web graph (the Data Commons stand-in), memoized.
     pub fn webgraph(&self, pages: u64, undirected: bool) -> Rc<InputGraph> {
         let key = (pages, undirected);
@@ -317,11 +417,15 @@ impl Harness {
         if let Some(bins) = self.scale.cluster_bins {
             cfg.cluster_bins = bins;
         }
+        if let Some(br) = self.scale.block_records {
+            cfg.block_records = br;
+        }
         cfg
     }
 
     /// Runs the named algorithm on `graph` under `cfg`.
     pub fn run(&self, algo: &str, cfg: ChaosConfig, graph: &InputGraph) -> RunReport {
+        let cfg_machines = cfg.machines;
         let (rep, digest) = with_algo!(algo, &self.params, |p| {
             let (rep, states) = run_chaos(cfg, p, graph);
             (rep, digest_states(&states))
@@ -330,6 +434,10 @@ impl Harness {
         self.skipped.set(self.skipped.get() + rep.records_skipped());
         self.skipped_mid
             .set(self.skipped_mid.get() + rep.records_skipped_mid());
+        self.blocks_skipped
+            .set(self.blocks_skipped.get() + rep.blocks_skipped());
+        self.skipped_intra
+            .set(self.skipped_intra.get() + rep.records_skipped_intra());
         self.events.set(self.events.get() + rep.events);
         self.envelopes.set(self.envelopes.get() + rep.envelopes);
         self.queue_ops.set(self.queue_ops.get() + rep.queue_ops);
@@ -337,7 +445,26 @@ impl Harness {
         // fixed order per experiment).
         self.digest
             .set(mix_digest(self.digest.get(), digest));
+        self.reports
+            .borrow_mut()
+            .push((format!("{algo}/m{}", cfg_machines), rep.clone()));
         rep
+    }
+
+    /// Writes every run driven so far (label + report + per-iteration
+    /// selectivity) to `path` as stable JSON — see [`metrics_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file I/O error.
+    pub fn write_metrics_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, metrics_json(&self.reports.borrow()))?;
+        eprintln!(
+            "[metrics-json] wrote {} run(s) to {}",
+            self.reports.borrow().len(),
+            path.display()
+        );
+        Ok(())
     }
 
     /// The algorithm set for all-algorithm figures, cheap ones first.
@@ -407,6 +534,75 @@ fn store_cached_rmat(path: &std::path::Path, g: &InputGraph) {
     } else {
         std::fs::remove_file(&tmp).ok();
     }
+}
+
+/// Serializes labeled run reports as JSON with a fixed key order, so two
+/// runs of the same build produce byte-identical dumps (a "stable JSON"
+/// diff target for tooling; all quantities here are simulated and thus
+/// backend-invariant). Hand-rolled — the workspace takes no serialization
+/// dependency for one fixed shape.
+pub fn metrics_json(reports: &[(String, RunReport)]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, (label, rep)) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": \"{label}\",\n"));
+        for (k, v) in [
+            ("runtime_ns", rep.runtime),
+            ("preprocess_ns", rep.preprocess_time),
+            ("iterations", u64::from(rep.iterations)),
+            ("partitions", rep.partitions as u64),
+            ("steals", rep.steals),
+            ("events", rep.events),
+            ("envelopes", rep.envelopes),
+            ("queue_ops", rep.queue_ops),
+            ("records_streamed", rep.records_streamed),
+            ("chunks_skipped", rep.chunks_skipped()),
+            ("records_skipped", rep.records_skipped()),
+            ("chunks_skipped_mid", rep.chunks_skipped_mid()),
+            ("records_skipped_mid", rep.records_skipped_mid()),
+            ("blocks_skipped", rep.blocks_skipped()),
+            ("records_skipped_intra", rep.records_skipped_intra()),
+            ("edges_tombstoned", rep.edges_tombstoned()),
+            ("compactions", rep.compactions()),
+            ("cluster_bins", u64::from(rep.cluster_bins)),
+            ("device_bytes", rep.total_device_bytes()),
+        ] {
+            out.push_str(&format!("      \"{k}\": {v},\n"));
+        }
+        out.push_str("      \"selectivity\": [\n");
+        for (j, s) in rep.selectivity.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"iter\": {j}, \"active_vertices\": {}, \"total_vertices\": {}, \
+                 \"chunks_skipped\": {}, \"records_skipped\": {}, \
+                 \"chunks_skipped_mid\": {}, \"records_skipped_mid\": {}, \
+                 \"blocks_skipped\": {}, \"records_skipped_intra\": {}, \
+                 \"blocks_skipped_mid\": {}, \"records_skipped_intra_mid\": {}, \
+                 \"edge_records_streamed\": {}, \"edges_tombstoned\": {}, \
+                 \"compactions\": {}}}{}\n",
+                s.active_vertices,
+                s.total_vertices,
+                s.chunks_skipped,
+                s.records_skipped,
+                s.chunks_skipped_mid,
+                s.records_skipped_mid,
+                s.blocks_skipped,
+                s.records_skipped_intra,
+                s.blocks_skipped_mid,
+                s.records_skipped_intra_mid,
+                s.edge_records_streamed,
+                s.edges_tombstoned,
+                s.compactions,
+                if j + 1 < rep.selectivity.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// SplitMix64-style combine of two digests.

@@ -38,7 +38,7 @@ pub mod table1;
 #[cfg(test)]
 mod tests;
 
-pub use harness::{Harness, Scale};
+pub use harness::{metrics_json, Harness, Scale};
 
 /// All experiment ids in paper order, with a one-line description.
 pub const EXPERIMENTS: &[(&str, &str)] = &[

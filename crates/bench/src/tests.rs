@@ -13,6 +13,7 @@ fn tiny() -> Harness {
         backend: chaos_core::Backend::Sequential,
         streaming: chaos_core::Streaming::Selective,
         cluster_bins: None,
+        block_records: None,
         queue: chaos_core::QueueKind::default(),
         batching: true,
         // Unit tests must not touch the shared target/rmat-cache dir.

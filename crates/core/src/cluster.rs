@@ -80,7 +80,10 @@ impl<P: GasProgram> Cluster<P> {
             && program.activity() != chaos_gas::ActivityModel::Dense;
         let params = Arc::new(
             RunParams::new(&cfg, spec, sizes.edge_bytes(), update_bytes, vstate)
-                .with_cluster_bins(if clustered { cfg.cluster_bins } else { 1 }),
+                .with_cluster_bins(if clustered { cfg.cluster_bins } else { 1 })
+                // Block indexes ride the same gate: they refine skip
+                // decisions, so runs that cannot skip keep plain chunks.
+                .with_block_records(if clustered { cfg.block_records } else { 0 }),
         );
         let cfg = Arc::new(cfg);
         let mut rng = Rng::new(cfg.seed);

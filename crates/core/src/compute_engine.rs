@@ -1313,12 +1313,13 @@ impl<P: GasProgram> ComputeEngine<P> {
         );
     }
 
-    /// Accounts chunks the activity filter consumed without serving and,
-    /// in the dense-streaming reference mode, streams their payloads
-    /// through the scatter kernel to enforce the activity contract:
-    /// a skipped chunk must produce nothing.
+    /// Accounts chunks — and, under block indexing, block runs inside the
+    /// served chunk — the activity filter consumed without serving and, in
+    /// the dense-streaming reference mode, streams their payloads through
+    /// the scatter kernel to enforce the activity contract: a skipped
+    /// chunk or block must produce nothing.
     fn on_edge_skips(&mut self, part: usize, skipped: &SkipInfo) {
-        if skipped.chunks == 0 {
+        if skipped.chunks == 0 && skipped.blocks == 0 {
             return;
         }
         let mid;
@@ -1353,9 +1354,13 @@ impl<P: GasProgram> ComputeEngine<P> {
         let sel = self.sel_mut();
         sel.chunks_skipped += skipped.chunks as u64;
         sel.records_skipped += skipped.records;
+        sel.blocks_skipped += skipped.blocks as u64;
+        sel.records_skipped_intra += skipped.records_intra;
         if mid {
             sel.chunks_skipped_mid += skipped.chunks as u64;
             sel.records_skipped_mid += skipped.records;
+            sel.blocks_skipped_mid += skipped.blocks as u64;
+            sel.records_skipped_intra_mid += skipped.records_intra;
         }
     }
 
@@ -1900,10 +1905,21 @@ impl<P: GasProgram> Actor for ComputeEngine<P> {
                 skipped,
             } => {
                 self.on_edge_skips(part, &skipped);
+                // A partial (block-granular) serve carries only the active
+                // block runs — rewriting the stored entry from it would
+                // drop the skipped blocks, so it must never seed a
+                // compaction. Both the selective and the reference serve
+                // path mark the same serves partial, keeping the
+                // suppression deterministic.
+                let origin = if skipped.partial {
+                    None
+                } else {
+                    Some((source, entry))
+                };
                 self.on_stream_chunk(ctx, part, Some(source), data, |d| Work::ScatterChunk {
                     part,
                     data: d,
-                    origin: Some((source, entry)),
+                    origin,
                 });
             }
             Msg::UpdateChunkResp { part, source, data } => {

@@ -213,6 +213,18 @@ pub struct ChaosConfig {
     /// runs with streaming/placement modes that cannot skip) keep the
     /// single-bin layout regardless, since clustering buys them nothing.
     pub cluster_bins: u32,
+    /// Block-granular selective serving: each sealed edge chunk's interior
+    /// is key-sorted (stable, so equal-key records keep arrival order) and
+    /// carries a block index of fixed `block_records`-sized blocks with
+    /// per-block inclusive key windows. Serves consult it after the
+    /// chunk-level window/stride test and stream only the block runs the
+    /// active set touches — records streamed become proportional to the
+    /// live frontier, not to surviving-chunk count. `0` disables block
+    /// indexing (chunk-granularity serves only). Like `cluster_bins`, the
+    /// knob only changes layout and serve granularity: computed results
+    /// are identical for any value, and runs that cannot skip (dense
+    /// activity, centralized placement, dense streaming) ignore it.
+    pub block_records: u32,
     /// RNG seed; a run is a pure function of (config, program, graph).
     pub seed: u64,
 }
@@ -249,6 +261,7 @@ impl ChaosConfig {
             streaming: Streaming::Selective,
             compact_threshold: 0.5,
             cluster_bins: 16,
+            block_records: 512,
             seed: 0xC4A05,
         }
     }
@@ -256,6 +269,13 @@ impl ChaosConfig {
     /// Switches the clustered-layout bin count (`1` = unclustered).
     pub fn with_cluster_bins(mut self, bins: u32) -> Self {
         self.cluster_bins = bins;
+        self
+    }
+
+    /// Switches the block-index granularity (`0` = chunk-granularity
+    /// serves only).
+    pub fn with_block_records(mut self, block_records: u32) -> Self {
+        self.block_records = block_records;
         self
     }
 
@@ -348,6 +368,9 @@ impl ChaosConfig {
         if self.cluster_bins > 4096 {
             return Err("more than 4096 bins per partition defeats chunking".into());
         }
+        if self.block_records != 0 && self.block_records < 16 {
+            return Err("block index below 16 records costs more than it skips".into());
+        }
         Ok(())
     }
 }
@@ -430,6 +453,14 @@ mod tests {
             .with_cluster_bins(8192)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn block_records_validated() {
+        assert_eq!(ChaosConfig::new(2).block_records, 512, "block-indexed by default");
+        assert!(ChaosConfig::new(2).with_block_records(0).validate().is_ok());
+        assert!(ChaosConfig::new(2).with_block_records(16).validate().is_ok());
+        assert!(ChaosConfig::new(2).with_block_records(7).validate().is_err());
     }
 
     #[test]

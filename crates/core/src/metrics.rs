@@ -82,6 +82,21 @@ pub struct IterSelectivity {
     pub chunks_skipped_mid: u64,
     /// Records in the mid-wavefront skipped chunks.
     pub records_skipped_mid: u64,
+    /// Blocks skipped *inside* served chunks by their block indexes —
+    /// intra-chunk selectivity, possible only with key-sorted interiors
+    /// (`block_records > 0`). Whole chunks whose every block proved
+    /// inactive count as chunk skips, not block skips.
+    pub blocks_skipped: u64,
+    /// Records in those skipped blocks: edge records never read or
+    /// streamed even though their chunk was served.
+    pub records_skipped_intra: u64,
+    /// The subset of [`IterSelectivity::blocks_skipped`] while the
+    /// partition's frontier was non-empty (in practice all of them — a
+    /// partial serve implies a live frontier; kept split for symmetry
+    /// with the chunk counters).
+    pub blocks_skipped_mid: u64,
+    /// Records in the mid-wavefront skipped blocks.
+    pub records_skipped_intra_mid: u64,
     /// Edge records actually streamed through scatter kernels while
     /// activity tracking was on (the denominator's live share; the
     /// selectivity-aware steal criterion scales remaining-bytes estimates
@@ -102,6 +117,10 @@ impl IterSelectivity {
         self.records_skipped += o.records_skipped;
         self.chunks_skipped_mid += o.chunks_skipped_mid;
         self.records_skipped_mid += o.records_skipped_mid;
+        self.blocks_skipped += o.blocks_skipped;
+        self.records_skipped_intra += o.records_skipped_intra;
+        self.blocks_skipped_mid += o.blocks_skipped_mid;
+        self.records_skipped_intra_mid += o.records_skipped_intra_mid;
         self.edge_records_streamed += o.edge_records_streamed;
         self.edges_tombstoned += o.edges_tombstoned;
         self.compactions += o.compactions;
@@ -109,9 +128,11 @@ impl IterSelectivity {
 
     /// The fraction of scatter-side edge records that survived the
     /// activity filter on this account (`1.0` when nothing was observed) —
-    /// the steal criterion's density correction.
+    /// the steal criterion's density correction. Intra-chunk (block)
+    /// skips count as filtered: those records are part of the stored
+    /// bytes a remaining-work estimate covers but will never be streamed.
     pub fn live_fraction(&self) -> f64 {
-        let seen = self.edge_records_streamed + self.records_skipped;
+        let seen = self.edge_records_streamed + self.records_skipped + self.records_skipped_intra;
         if seen == 0 {
             1.0
         } else {
@@ -298,6 +319,17 @@ impl RunReport {
     /// Edge chunks skipped mid-wavefront.
     pub fn chunks_skipped_mid(&self) -> u64 {
         self.selectivity.iter().map(|s| s.chunks_skipped_mid).sum()
+    }
+
+    /// Total blocks skipped inside served chunks (intra-chunk
+    /// selectivity from the block indexes).
+    pub fn blocks_skipped(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.blocks_skipped).sum()
+    }
+
+    /// Total edge records skipped inside served chunks.
+    pub fn records_skipped_intra(&self) -> u64 {
+        self.selectivity.iter().map(|s| s.records_skipped_intra).sum()
     }
 
     /// Total edges dropped from storage by compaction.

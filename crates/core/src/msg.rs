@@ -19,6 +19,15 @@ pub struct SkipInfo {
     pub chunks: u32,
     /// Records in those chunks.
     pub records: u64,
+    /// Blocks of the served chunk skipped by its block index (intra-chunk
+    /// selectivity; zero unless the serve was partial).
+    pub blocks: u32,
+    /// Records in those skipped blocks.
+    pub records_intra: u64,
+    /// Whether the served payload is a partial (block-filtered) view of
+    /// its chunk. A partial payload must not seed a compaction rewrite —
+    /// the skipped blocks' records would be silently dropped.
+    pub partial: bool,
     /// Skipped payloads, riding along only in the dense-streaming
     /// reference mode so the engine can verify they scatter to nothing
     /// (a host-side testing artifact, not simulated traffic).
@@ -31,6 +40,9 @@ impl SkipInfo {
         Self {
             chunks: 0,
             records: 0,
+            blocks: 0,
+            records_intra: 0,
+            partial: false,
             oracle: Vec::new(),
         }
     }

@@ -138,6 +138,11 @@ pub struct RunParams {
     /// streaming, centralized placement); see
     /// [`crate::config::ChaosConfig::cluster_bins`].
     pub cluster: BinSpec,
+    /// Records per block in sealed edge chunks' block indexes; `0`
+    /// disables block indexing (chunk-granularity serves). Zeroed, like
+    /// the cluster bins, when the run cannot skip anyway; see
+    /// [`crate::config::ChaosConfig::block_records`].
+    pub block_records: u32,
 }
 
 impl RunParams {
@@ -163,6 +168,7 @@ impl RunParams {
             window: cfg.batch_window,
             placement: cfg.placement,
             streaming: cfg.streaming,
+            block_records: 0,
         }
     }
 
@@ -171,6 +177,15 @@ impl RunParams {
     /// layout — [`crate::Cluster`] opts in when the run can profit).
     pub fn with_cluster_bins(mut self, bins: u32) -> Self {
         self.cluster = BinSpec::new(&self.spec, bins);
+        self
+    }
+
+    /// Enables key-sorted chunk interiors with block indexes at
+    /// `block_records` records per block (the builder default is `0`,
+    /// chunk-granularity serves — [`crate::Cluster`] opts in when the run
+    /// can profit).
+    pub fn with_block_records(mut self, block_records: u32) -> Self {
+        self.block_records = block_records;
         self
     }
 

@@ -21,7 +21,7 @@ use chaos_gas::{GasProgram, Update};
 use chaos_graph::Edge;
 use chaos_runtime::Actor;
 use chaos_sim::Time;
-use chaos_storage::{ChunkIndex, ChunkSet, Device, PageCache, VertexArray};
+use chaos_storage::{BlockIndex, ChunkIndex, ChunkSet, Device, PageCache, VertexArray};
 
 use chaos_storage::FileBacking;
 
@@ -41,6 +41,37 @@ fn edge_index(data: &[Edge], reverse: bool) -> ChunkIndex {
         ChunkIndex::from_keys(data.iter().map(|e| e.dst))
     } else {
         ChunkIndex::from_keys(data.iter().map(|e| e.src))
+    }
+}
+
+/// Prepares one edge chunk for sealing: under block indexing
+/// (`block_records > 0`) the interior is stably sorted by scatter key —
+/// equal-key records keep their arrival order, so the sealed layout is a
+/// pure function of the written record sequence — and a [`BlockIndex`] of
+/// per-block key windows is derived from the sorted keys. With block
+/// indexing off (or a chunk too small to split) only the chunk-level
+/// index is computed, reproducing the pre-block layout byte for byte.
+/// The payload is sorted in place via `Arc::make_mut`, cloning only if
+/// the writer still shares it.
+fn prepare_edge_chunk(
+    data: &mut Arc<Vec<Edge>>,
+    reverse: bool,
+    block_records: u32,
+) -> (ChunkIndex, Option<BlockIndex>) {
+    if block_records == 0 {
+        return (edge_index(data, reverse), None);
+    }
+    let v = Arc::make_mut(data);
+    if reverse {
+        v.sort_by_key(|e| e.dst);
+        let index = edge_index(v, reverse);
+        let blocks = BlockIndex::from_sorted_keys(v.iter().map(|e| e.dst), block_records);
+        (index, blocks)
+    } else {
+        v.sort_by_key(|e| e.src);
+        let index = edge_index(v, reverse);
+        let blocks = BlockIndex::from_sorted_keys(v.iter().map(|e| e.src), block_records);
+        (index, blocks)
     }
 }
 
@@ -201,7 +232,7 @@ impl<P: GasProgram> StorageEngine<P> {
         ctx: &mut Ctx<P>,
         part: usize,
         reverse: bool,
-        data: Arc<Vec<Edge>>,
+        mut data: Arc<Vec<Edge>>,
         entry: Option<u32>,
         from: usize,
     ) {
@@ -211,7 +242,8 @@ impl<P: GasProgram> StorageEngine<P> {
         if entry.is_none() && bins > 1 && !data.is_empty() {
             self.merge_edge_write(part, reverse, data);
         } else {
-            let index = edge_index(&data, reverse);
+            let (index, blocks) =
+                prepare_edge_chunk(&mut data, reverse, self.params.block_records);
             let set = if reverse {
                 &mut self.redges[part]
             } else {
@@ -219,10 +251,15 @@ impl<P: GasProgram> StorageEngine<P> {
             };
             match entry {
                 None => {
-                    set.append_indexed(data, Some(index)).expect("mem io");
+                    set.append_with_blocks(data, Some(index), blocks)
+                        .expect("mem io");
                 }
                 Some(e) => {
-                    set.replace(e, data, Some(index)).expect("mem io");
+                    // Compaction rewrite: the survivors of a sorted chunk
+                    // arrive sorted (the filter preserves order), so the
+                    // rebuilt block index refines the narrowed window.
+                    set.replace_with_blocks(e, data, Some(index), blocks)
+                        .expect("mem io");
                 }
             }
         }
@@ -242,7 +279,7 @@ impl<P: GasProgram> StorageEngine<P> {
     /// bin) buffer, cutting full-size chunks off as it fills. Every chunk
     /// cut here is single-bin by construction — the narrow-window
     /// invariant of the clustered layout (debug-asserted below).
-    fn merge_edge_write(&mut self, part: usize, reverse: bool, data: Arc<Vec<Edge>>) {
+    fn merge_edge_write(&mut self, part: usize, reverse: bool, mut data: Arc<Vec<Edge>>) {
         debug_assert!(!self.sealed, "edge appends happen only before the first read");
         let bins = self.params.cluster.bins();
         let key = |e: &Edge| if reverse { e.dst } else { e.src };
@@ -266,11 +303,13 @@ impl<P: GasProgram> StorageEngine<P> {
             // Fast path for the common case: writers cut their mid-stream
             // flushes at exactly the chunk size, so a full bin-pure chunk
             // arriving on an empty buffer is already a storage chunk —
-            // append the shared payload as-is instead of copying the
-            // whole edge set through the open buffers. Only the tiny
+            // seal the shared payload as-is instead of copying the whole
+            // edge set through the open buffers. Only the tiny
             // end-of-pre-processing partials take the merge path below.
-            let index = edge_index(&data, reverse);
-            set.append_indexed(data, Some(index)).expect("edge chunk io");
+            let (index, blocks) =
+                prepare_edge_chunk(&mut data, reverse, self.params.block_records);
+            set.append_with_blocks(data, Some(index), blocks)
+                .expect("edge chunk io");
             return;
         }
         buf.extend(data.iter().copied());
@@ -279,14 +318,15 @@ impl<P: GasProgram> StorageEngine<P> {
             // tail: split the tail into a fresh buffer and hand the front
             // allocation to the chunk set.
             let rest = buf.split_off(epc);
-            let chunk = std::mem::replace(buf, rest);
-            let index = edge_index(&chunk, reverse);
+            let mut chunk = Arc::new(std::mem::replace(buf, rest));
+            let (index, blocks) =
+                prepare_edge_chunk(&mut chunk, reverse, self.params.block_records);
             debug_assert!(
                 self.params.cluster.bin_of(&self.params.spec, part, index.lo)
                     == self.params.cluster.bin_of(&self.params.spec, part, index.hi),
                 "cut chunk of partition {part} spans multiple cluster bins"
             );
-            set.append_indexed(Arc::new(chunk), Some(index))
+            set.append_with_blocks(chunk, Some(index), blocks)
                 .expect("edge chunk io");
         }
     }
@@ -318,20 +358,22 @@ impl<P: GasProgram> StorageEngine<P> {
                 } else {
                     (&mut self.open_edges, &mut self.edges[part])
                 };
+                let br = self.params.block_records;
                 let mut run: Vec<Edge> = Vec::new();
                 for slot in part * bins..(part + 1) * bins {
                     run.append(&mut opens[slot]);
                     while run.len() >= epc {
                         let rest = run.split_off(epc);
-                        let chunk = std::mem::replace(&mut run, rest);
-                        let index = edge_index(&chunk, reverse);
-                        set.append_indexed(Arc::new(chunk), Some(index))
+                        let mut chunk = Arc::new(std::mem::replace(&mut run, rest));
+                        let (index, blocks) = prepare_edge_chunk(&mut chunk, reverse, br);
+                        set.append_with_blocks(chunk, Some(index), blocks)
                             .expect("edge chunk io");
                     }
                 }
                 if !run.is_empty() {
-                    let index = edge_index(&run, reverse);
-                    set.append_indexed(Arc::new(run), Some(index))
+                    let mut chunk = Arc::new(run);
+                    let (index, blocks) = prepare_edge_chunk(&mut chunk, reverse, br);
+                    set.append_with_blocks(chunk, Some(index), blocks)
                         .expect("edge chunk io");
                 }
             }
@@ -414,16 +456,22 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 } else {
                     &mut self.edges[part]
                 };
-                // Skipped chunks cost neither device time nor wire bytes:
-                // the source-range index is in-memory metadata, and the
-                // payloads are never read (the reference mode materializes
-                // them for oracle streaming without touching accounting).
+                // Skipped chunks and skipped block runs cost neither device
+                // time nor wire bytes: the chunk and block indexes are
+                // in-memory metadata, skipped payloads are never read (the
+                // reference mode materializes them for oracle streaming
+                // without touching accounting), and a partial serve reads
+                // only the active block runs — the device and the wire are
+                // charged below for exactly the records served.
                 let outcome = set
                     .serve_next_selective(active.as_deref(), materialize)
-                    .expect("mem io");
+                    .expect("edge chunk io");
                 let skipped = SkipInfo {
                     chunks: outcome.skipped_chunks,
                     records: outcome.skipped_records,
+                    blocks: outcome.skipped_blocks,
+                    records_intra: outcome.skipped_records_intra,
+                    partial: outcome.served.as_ref().is_some_and(|s| s.partial),
                     oracle: outcome.skipped_payloads,
                 };
                 match outcome.served {

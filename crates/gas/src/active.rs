@@ -140,6 +140,38 @@ impl ActiveSet {
         self.words[wl + 1..wh].iter().any(|&w| w != 0)
     }
 
+    /// Smallest active vertex id in the *inclusive* window `[lo, hi]`, or
+    /// `None` if the window holds no active vertex — the block-skip probe.
+    /// With sorted chunk interiors the serving side binary-searches the
+    /// block index for the block containing the returned key, jumping over
+    /// every block between two frontier vertices in one step.
+    pub fn first_active_in(&self, lo: VertexId, hi: VertexId) -> Option<VertexId> {
+        if lo > hi || self.active == 0 || self.len == 0 {
+            return None;
+        }
+        let lo = lo.max(self.base);
+        let hi = hi.min(self.base + self.len - 1);
+        if lo > hi {
+            return None;
+        }
+        let (lo, hi) = ((lo - self.base) as usize, (hi - self.base) as usize);
+        let (wl, wh) = (lo / 64, hi / 64);
+        for w in wl..=wh {
+            let mut word = self.words[w];
+            if w == wl {
+                word &= !0u64 << (lo % 64);
+            }
+            if w == wh {
+                word &= !0u64 >> (63 - hi % 64);
+            }
+            if word != 0 {
+                let off = w * 64 + word.trailing_zeros() as usize;
+                return Some(self.base + off as u64);
+            }
+        }
+        None
+    }
+
     /// Wire size of the set when shipped with a chunk request: the packed
     /// bitmap plus a small fixed header.
     pub fn wire_bytes(&self) -> u64 {
@@ -190,6 +222,38 @@ mod tests {
         let empty = ActiveSet::from_fn(0, 0, |_| true);
         assert!(empty.is_empty() && empty.none_active());
         assert!(!empty.any_in_window(0, 10));
+    }
+
+    #[test]
+    fn first_active_in_finds_lowest_and_clamps() {
+        let s = ActiveSet::from_fn(100, 256, |off| off == 70 || off == 200);
+        assert_eq!(s.first_active_in(0, u64::MAX), Some(170));
+        assert_eq!(s.first_active_in(170, 170), Some(170));
+        assert_eq!(s.first_active_in(171, 299), None);
+        assert_eq!(s.first_active_in(171, 300), Some(300));
+        assert_eq!(s.first_active_in(301, u64::MAX), None);
+        assert_eq!(s.first_active_in(u64::MAX, 0), None, "inverted window");
+        let none = ActiveSet::from_fn(0, 128, |_| false);
+        assert_eq!(none.first_active_in(0, u64::MAX), None);
+        let empty = ActiveSet::from_fn(0, 0, |_| true);
+        assert_eq!(empty.first_active_in(0, 10), None);
+    }
+
+    #[test]
+    fn first_active_in_agrees_with_any_in_window() {
+        let s = ActiveSet::from_fn(5, 200, |off| off % 7 == 3 || off == 63 || off == 64);
+        for lo in (0..220).step_by(3) {
+            for hi in (lo..225).step_by(5) {
+                let first = s.first_active_in(lo, hi);
+                assert_eq!(first.is_some(), s.any_in_window(lo, hi));
+                if let Some(v) = first {
+                    assert!(s.contains(v) && v >= lo && v <= hi);
+                    if v > lo {
+                        assert!(!s.any_in_window(lo, v - 1), "nothing active below the returned key");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod file;
 pub mod vertex;
 
 pub use cache::PageCache;
-pub use chunk::{ChunkIndex, ChunkSet, ChunkSetStats, ServeOutcome, ServedChunk};
+pub use chunk::{BlockIndex, ChunkIndex, ChunkSet, ChunkSetStats, ServeOutcome, ServedChunk};
 pub use device::{Device, DeviceProfile};
 pub use file::{FileBacking, ScratchDir};
 pub use vertex::VertexArray;

@@ -1,31 +1,34 @@
 #!/usr/bin/env bash
 # Bench smoke: run the Figure 7 harness across every host-side
 # configuration axis — both execution backends, the dense-streaming
-# reference mode, the unclustered edge layout, the binary-heap event
-# queue and with envelope batching disabled — and verify the invariants:
-# stdout byte-identical across backends, streaming modes, queue kinds and
-# batching; computed results byte-identical across chunk layouts via the
-# states digest. Wall-clock timings plus the hot-path metrics (record
-# throughput, skip counts, and the event-loop dispatch account parsed
-# from the sequential run's stderr) land in BENCH_pr6.json.
+# reference mode, the unclustered edge layout, chunk-granularity serves
+# (block indexing off), the binary-heap event queue and with envelope
+# batching disabled — and verify the invariants: stdout byte-identical
+# across backends, streaming modes, queue kinds and batching; computed
+# results byte-identical across chunk layouts and block granularities via
+# the states digest. Wall-clock timings plus the hot-path metrics (record
+# throughput, chunk- and block-level skip counts, and the event-loop
+# dispatch account parsed from the sequential run's stderr) land in
+# BENCH_pr7.json, including the same-window A/B of block-indexed serves
+# vs --block-records 0.
 #
 # The first run doubles as a warm-up for the on-disk RMAT cache
 # (target/rmat-cache), so the timed sequential run measures the engine,
 # not the graph generator. BENCH_NO_CACHE=1 disables the cache for every
 # run.
 #
-# When a BENCH_pr5.json baseline is present (repo root), the run fails if
+# When a BENCH_pr6.json baseline is present (repo root), the run fails if
 # sequential wall time regressed more than 10% against it — the perf gate
-# for the calendar-queue / batching / local-send event-loop core.
+# for the sub-chunk selective-serving layer.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT_JSON="${1:-BENCH_pr6.json}"
+OUT_JSON="${1:-BENCH_pr7.json}"
 EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
 PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr5.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr6.json}"
 CACHE_FLAG=()
 if [ "${BENCH_NO_CACHE:-0}" = "1" ]; then
     CACHE_FLAG=(--no-cache)
@@ -39,10 +42,11 @@ SEQ_ERR=$(mktemp)
 PAR_OUT=$(mktemp)
 REF_OUT=$(mktemp)
 FLAT_OUT=$(mktemp)
+NOBLOCK_OUT=$(mktemp)
 HEAP_OUT=$(mktemp)
 NOBATCH_OUT=$(mktemp)
 ERR_LOG=$(mktemp)
-trap 'rm -f "$SEQ_OUT" "$SEQ_ERR" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$HEAP_OUT" "$NOBATCH_OUT" "$ERR_LOG"' EXIT
+trap 'rm -f "$SEQ_OUT" "$SEQ_ERR" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$NOBLOCK_OUT" "$HEAP_OUT" "$NOBATCH_OUT" "$ERR_LOG"' EXIT
 
 # Keep stderr (panics, asserts) out of the compared output but dump it on
 # failure so CI logs show *why* a run died, not just that it did.
@@ -72,6 +76,8 @@ run_mode "$REF_OUT" "$ERR_LOG" --backend seq --streaming reference
 t5=$(date +%s.%N)
 run_mode "$FLAT_OUT" "$ERR_LOG" --backend seq --cluster-bins 1
 t6=$(date +%s.%N)
+run_mode "$NOBLOCK_OUT" "$ERR_LOG" --backend seq --block-records 0
+t7=$(date +%s.%N)
 
 check_identical() {
     local other="$1" what="$2"
@@ -87,18 +93,25 @@ check_identical "$NOBATCH_OUT" "with envelope batching on vs off"
 check_identical "$PAR_OUT" "across backends"
 check_identical "$REF_OUT" "vs the dense-streaming reference mode"
 
-# Across layouts the timings and skip counts legitimately differ (narrow
-# windows skip more), but the computed results may not: the per-figure
-# "states digest" lines fingerprint every cell's final vertex states.
-SEQ_DIGEST=$(grep '^states digest:' "$SEQ_OUT" || true)
-FLAT_DIGEST=$(grep '^states digest:' "$FLAT_OUT" || true)
-if [ -z "$SEQ_DIGEST" ] || [ "$SEQ_DIGEST" != "$FLAT_DIGEST" ]; then
-    echo "FAIL: $EXPERIMENT computed different results on the unclustered layout" >&2
-    echo "clustered:   $SEQ_DIGEST" >&2
-    echo "unclustered: $FLAT_DIGEST" >&2
-    exit 1
-fi
-echo "OK: $EXPERIMENT results are byte-identical across clustered/unclustered layouts"
+# Across layouts — cluster bins and block granularity alike — the timings
+# and skip counts legitimately differ (narrow windows and block indexes
+# skip more), but the computed results may not: the per-figure "states
+# digest" lines fingerprint every cell's final vertex states.
+check_digest() {
+    local other="$1" what="$2"
+    local seq_digest other_digest
+    seq_digest=$(grep '^states digest:' "$SEQ_OUT" || true)
+    other_digest=$(grep '^states digest:' "$other" || true)
+    if [ -z "$seq_digest" ] || [ "$seq_digest" != "$other_digest" ]; then
+        echo "FAIL: $EXPERIMENT computed different results $what" >&2
+        echo "default: $seq_digest" >&2
+        echo "other:   $other_digest" >&2
+        exit 1
+    fi
+    echo "OK: $EXPERIMENT results are byte-identical $what"
+}
+check_digest "$FLAT_OUT" "across clustered/unclustered layouts"
+check_digest "$NOBLOCK_OUT" "across block-indexed/chunk-granularity serves"
 
 HEAP_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
 SEQ_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
@@ -106,17 +119,25 @@ NOBATCH_S=$(python3 -c "print(f'{$t3 - $t2:.2f}')")
 PAR_S=$(python3 -c "print(f'{$t4 - $t3:.2f}')")
 REF_S=$(python3 -c "print(f'{$t5 - $t4:.2f}')")
 FLAT_S=$(python3 -c "print(f'{$t6 - $t5:.2f}')")
+NOBLOCK_S=$(python3 -c "print(f'{$t7 - $t6:.2f}')")
 SPEEDUP=$(python3 -c "print(f'{($t2 - $t1) / ($t4 - $t3):.3f}')")
 NCPU=$(nproc 2>/dev/null || echo 0)
 # The fig7 harness prints the records-streamed/skipped totals (simulated,
 # backend- and mode-invariant quantities); throughput = records per seq
-# wall-second.
+# wall-second. The same-window A/B: the chunk-granularity run's streamed
+# count shows what the block indexes saved this very invocation.
 RECORDS=$(sed -n 's/^records streamed: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 RECORDS=${RECORDS:-0}
 SKIPPED=$(sed -n 's/^records skipped: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 SKIPPED=${SKIPPED:-0}
 SKIPPED_MID=$(sed -n 's/^records skipped mid-wavefront: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
 SKIPPED_MID=${SKIPPED_MID:-0}
+BLOCKS_SKIPPED=$(sed -n 's/^blocks skipped: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
+BLOCKS_SKIPPED=${BLOCKS_SKIPPED:-0}
+SKIPPED_INTRA=$(sed -n 's/^records skipped intra-chunk: \([0-9]*\)$/\1/p' "$SEQ_OUT" | tail -1)
+SKIPPED_INTRA=${SKIPPED_INTRA:-0}
+NOBLOCK_RECORDS=$(sed -n 's/^records streamed: \([0-9]*\)$/\1/p' "$NOBLOCK_OUT" | tail -1)
+NOBLOCK_RECORDS=${NOBLOCK_RECORDS:-0}
 THROUGHPUT=$(python3 -c "print(f'{$RECORDS / ($t2 - $t1):.0f}')")
 # The event-loop dispatch account is host-side provenance (it legitimately
 # differs across queue/batching configs), so the figures binary prints it
@@ -141,12 +162,16 @@ cat >"$OUT_JSON" <<EOF
   },
   "reference_streaming_seq_wall_seconds": $REF_S,
   "unclustered_layout_seq_wall_seconds": $FLAT_S,
+  "chunk_granular_seq_wall_seconds": $NOBLOCK_S,
   "heap_queue_seq_wall_seconds": $HEAP_S,
   "unbatched_seq_wall_seconds": $NOBATCH_S,
   "seq_over_par_speedup": $SPEEDUP,
   "records_streamed": $RECORDS,
+  "records_streamed_without_blocks": $NOBLOCK_RECORDS,
   "records_skipped": $SKIPPED,
   "records_skipped_mid_wavefront": $SKIPPED_MID,
+  "blocks_skipped": $BLOCKS_SKIPPED,
+  "records_skipped_intra_chunk": $SKIPPED_INTRA,
   "records_per_wall_second_seq": $THROUGHPUT,
   "events_dispatched": $EVENTS,
   "envelopes_sent": $ENVELOPES,

@@ -20,6 +20,13 @@
 //! 3. **Backend invariance under clustering.** The parallel executor
 //!    replays the same clustered run bit-identically (modulo backend
 //!    provenance).
+//!
+//! 4. **Block-granularity invariance.** Key-sorted chunk interiors with
+//!    block indexes (`cfg.block_records > 0`) change which byte ranges
+//!    are read — never what is computed: final states, aggregates and
+//!    iteration counts are identical between `block_records = 0`
+//!    (chunk-granularity serves) and any block granularity, and the
+//!    dense-streaming oracle materializes every skipped block run.
 
 mod common;
 
@@ -74,6 +81,23 @@ where
         rep_par.normalized(),
         "clustered layout must stay backend-invariant"
     );
+    // 4. Block-granularity invariance: sub-chunk serving (and the
+    //    compaction suppression it implies on partial serves) must not
+    //    change what is computed.
+    let mut nob = cfg.clone();
+    nob.block_records = 0;
+    let (rep_nob, states_nob) = run_chaos(nob, program.clone(), g);
+    assert_eq!(states_clu, states_nob, "final states: blocks on vs off");
+    assert_eq!(
+        rep_clu.iteration_aggs, rep_nob.iteration_aggs,
+        "block-granular serves must not change what is computed"
+    );
+    assert_eq!(rep_clu.iterations, rep_nob.iterations);
+    assert_eq!(
+        rep_nob.blocks_skipped(),
+        0,
+        "chunk-granularity serves must not report block skips"
+    );
 }
 
 proptest! {
@@ -86,11 +110,15 @@ proptest! {
         scale in 6u32..8,
         chunk_kb in 4u64..17,
         bins in 2u32..40,
+        br_pick in 0usize..3,
         seed in 0u64..1_000_000,
     ) {
         let mut cfg = test_config(machines);
         cfg.chunk_bytes = chunk_kb * 1024;
         cfg.cluster_bins = bins;
+        // Vary the block geometry from many tiny blocks per chunk to the
+        // single-block degenerate case (which must behave like blocks off).
+        cfg.block_records = [16, 64, 2048][br_pick];
         cfg.seed = seed;
         let g_dir = RmatConfig::paper(scale).generate();
         let g_und = undirected_graph(scale);
@@ -214,6 +242,80 @@ fn mid_wavefront_skips_appear_only_with_activity() {
     for s in &rep.selectivity {
         assert!(s.records_skipped_mid <= s.records_skipped);
         assert!(s.chunks_skipped_mid <= s.chunks_skipped);
+    }
+}
+
+#[test]
+fn block_records_cross_states_digest_invariant() {
+    // The bench-smoke cross in test form: `--block-records {0, 512}` over
+    // selective/reference must agree on the states digest (FNV-1a over
+    // the storage encodings, as `figures` prints it), with the block runs
+    // actually skipping intra-chunk on the frontier program.
+    fn digest<S: chaos::gas::Record>(states: &[S]) -> u64 {
+        let mut buf = Vec::new();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for s in states {
+            buf.clear();
+            s.encode(&mut buf);
+            for &b in &buf {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+    let g = chaos::graph::builder::path(600).to_undirected();
+    let mut digests = Vec::new();
+    let mut skipped_intra = Vec::new();
+    // 0 = blocks off, 512 = the bench-smoke granularity (coarser than
+    // this cell's ~500-record chunks, so it degenerates to single-block
+    // chunks — the degenerate case must also hold), 64 = blocks that
+    // genuinely split these chunks.
+    for block_records in [0, 512, 64] {
+        for streaming in [Streaming::Selective, Streaming::Reference] {
+            let mut cfg = test_config(2);
+            cfg.mem_budget = 2 * 1024;
+            cfg.block_records = block_records;
+            cfg.streaming = streaming;
+            let (rep, states) = run_chaos(cfg, Bfs::new(0), &g);
+            digests.push(digest(&states));
+            skipped_intra.push(rep.records_skipped_intra());
+        }
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "states digest must be invariant across the block-records × streaming cross: {digests:x?}"
+    );
+    assert_eq!(skipped_intra[0], 0, "blocks off cannot skip intra-chunk");
+    assert!(
+        skipped_intra[4] > 0,
+        "block indexes must skip intra-chunk on a collapsing frontier"
+    );
+    assert_eq!(
+        skipped_intra[4], skipped_intra[5],
+        "selective and reference agree on block skips"
+    );
+}
+
+#[test]
+fn block_serves_split_chunks_mid_wavefront() {
+    // A path graph's single-vertex frontier lands inside one block of a
+    // served chunk: the other blocks must skip, the skipped records must
+    // never be streamed, and the per-iteration accounts must stay
+    // internally consistent.
+    let g = chaos::graph::builder::path(600).to_undirected();
+    let mut cfg = test_config(2);
+    cfg.mem_budget = 2 * 1024;
+    cfg.chunk_bytes = 4 * 1024;
+    cfg.block_records = 32;
+    let (rep, _) = run_chaos(cfg, Bfs::new(0), &g);
+    assert!(rep.blocks_skipped() > 0, "block serves must split chunks");
+    assert!(rep.records_skipped_intra() > 0);
+    for s in &rep.selectivity {
+        assert!(s.blocks_skipped_mid <= s.blocks_skipped);
+        assert!(s.records_skipped_intra_mid <= s.records_skipped_intra);
+        // A partial serve implies a live frontier, so intra-chunk skips
+        // are mid-wavefront by construction.
+        assert_eq!(s.blocks_skipped_mid, s.blocks_skipped);
     }
 }
 

@@ -166,9 +166,15 @@ fn selectivity_account_reports_real_skips() {
 #[test]
 fn shrinking_compaction_reports_tombstones() {
     // MIS decides every vertex; by the last rounds the whole edge set is
-    // dead and compaction must have dropped most of it.
+    // dead and compaction must have dropped most of it. Block-granular
+    // serving suppresses compaction of partially served chunks (a partial
+    // payload must not seed a rewrite), leaving dead regions to the block
+    // index instead — pin chunk-granularity serves to exercise the full
+    // compaction path.
     let g = undirected_graph(8);
-    let (rep, _) = run_chaos(test_config(2), Mis::new(3), &g);
+    let mut cfg = test_config(2);
+    cfg.block_records = 0;
+    let (rep, _) = run_chaos(cfg, Mis::new(3), &g);
     assert!(rep.compactions() > 0, "MIS must compact decided regions");
     assert!(
         rep.edges_tombstoned() > g.num_edges() / 2,
@@ -176,6 +182,16 @@ fn shrinking_compaction_reports_tombstones() {
         rep.edges_tombstoned(),
         g.num_edges()
     );
+    // Under block indexing the same dead regions are served around rather
+    // than rewritten: compaction still runs on fully served chunks, and
+    // the skip account moves intra-chunk.
+    let (blocked, _) = run_chaos(test_config(2), Mis::new(3), &g);
+    assert!(blocked.compactions() > 0, "full serves still compact");
+    assert!(
+        blocked.blocks_skipped() > 0,
+        "decided regions must skip at block granularity"
+    );
+    assert!(blocked.records_skipped_intra() > 0);
 }
 
 #[test]
