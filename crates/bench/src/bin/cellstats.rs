@@ -6,7 +6,8 @@
 //! ```text
 //! cellstats PR 4 14 [seq|par:N] [selective|reference|dense] \
 //!     [--bins N] [--block-records N] [--queue calendar|heap] \
-//!     [--batching on|off] [--iters] [--metrics-json <path>]
+//!     [--batching on|off] [--iters] [--metrics-json <path>] \
+//!     [--fault-seed N]
 //! ```
 //!
 //! `--bins N` overrides the clustered-layout bin count (1 = unclustered
@@ -19,11 +20,14 @@
 //! tombstone/compaction counts — the shape of a frontier collapsing or a
 //! Borůvka contraction eating the edge set. `--metrics-json <path>` dumps
 //! the run's report plus per-iteration selectivity as stable JSON.
+//! `--fault-seed N` turns on checkpointing and injects the seed-`N`
+//! generated fault plan (crashes + device + fabric windows); the fault
+//! account line shows what the recovery protocol absorbed.
 
 use std::time::Instant;
 
 use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
-use chaos_core::{run_chaos, Backend, ChaosConfig, QueueKind, Streaming};
+use chaos_core::{run_chaos, Backend, ChaosConfig, FaultPlan, FaultPlanConfig, QueueKind, Streaming};
 use chaos_graph::RmatConfig;
 
 fn main() {
@@ -62,6 +66,15 @@ fn main() {
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .expect("--queue needs calendar or heap");
+        args.drain(i..=i + 1);
+    }
+    let mut fault_seed: Option<u64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--fault-seed") {
+        fault_seed = Some(
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--fault-seed needs an integer seed"),
+        );
         args.drain(i..=i + 1);
     }
     let mut batching = true;
@@ -107,6 +120,10 @@ fn main() {
     if let Some(br) = block_records {
         cfg.block_records = br;
     }
+    if let Some(seed) = fault_seed {
+        cfg.checkpoint = true;
+        cfg.faults = FaultPlan::generate(seed, &FaultPlanConfig::soak(machines));
+    }
     let t0 = Instant::now();
     let params = AlgoParams::default();
     let rep = with_algo!(algo.as_str(), &params, |p| run_chaos(cfg, p, &g).0);
@@ -133,6 +150,17 @@ fn main() {
         rep.envelopes,
         rep.batching_ratio(),
         rep.queue_ops,
+    );
+    let fa = &rep.faults;
+    println!(
+        "faults: {} aborts, {} iterations redone, {} device retries, \
+         {:.3}s lost to faults; {} checkpoint bytes in {:.3}s",
+        fa.aborts,
+        fa.iterations_redone,
+        fa.device_retries,
+        fa.faulted_time as f64 / 1e9,
+        fa.checkpoint_bytes,
+        fa.checkpoint_time as f64 / 1e9,
     );
     let streamed_plus_skipped = rep.records_streamed + rep.records_skipped();
     let skipped_empty = rep.records_skipped() - rep.records_skipped_mid();

@@ -59,6 +59,17 @@ fn dispatch_stats(h: &Harness) {
         h.batching_ratio(),
         h.queue_ops(),
     );
+    let fa = h.fault_account();
+    eprintln!(
+        "fault account:  aborts={} redone={} device-retries={} faulted-ns={} \
+         ckpt-bytes={} ckpt-ns={}",
+        fa.aborts,
+        fa.iterations_redone,
+        fa.device_retries,
+        fa.faulted_time,
+        fa.checkpoint_bytes,
+        fa.checkpoint_time,
+    );
 }
 
 fn main() -> ExitCode {

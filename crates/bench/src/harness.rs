@@ -7,7 +7,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use chaos_algos::{needs_undirected, needs_weights, with_algo, AlgoParams};
-use chaos_core::{run_chaos, Backend, ChaosConfig, QueueKind, RunReport, Streaming};
+use chaos_core::{run_chaos, Backend, ChaosConfig, FaultAccount, QueueKind, RunReport, Streaming};
 use chaos_graph::{InputGraph, RmatConfig, WebGraphConfig};
 
 /// Experiment sizing.
@@ -163,6 +163,7 @@ pub struct Harness {
     events: Cell<u64>,
     envelopes: Cell<u64>,
     queue_ops: Cell<u64>,
+    faults: RefCell<FaultAccount>,
     /// Every run's report in drive order, labeled `algo/m<machines>`, for
     /// the `--metrics-json` dump.
     reports: RefCell<Vec<(String, RunReport)>>,
@@ -206,6 +207,7 @@ impl Harness {
             events: Cell::new(0),
             envelopes: Cell::new(0),
             queue_ops: Cell::new(0),
+            faults: RefCell::new(FaultAccount::default()),
             reports: RefCell::new(Vec::new()),
         }
     }
@@ -275,6 +277,15 @@ impl Harness {
     /// Event-queue pushes + pops across every run so far (host-side).
     pub fn queue_ops(&self) -> u64 {
         self.queue_ops.get()
+    }
+
+    /// The summed fault account of every run so far: aborts, redone
+    /// iterations, device retries, faulted time and checkpoint cost — all
+    /// simulated quantities, so figure output stays byte-comparable
+    /// across backends. Zero everywhere under empty fault plans with
+    /// checkpointing off.
+    pub fn fault_account(&self) -> FaultAccount {
+        self.faults.borrow().clone()
     }
 
     /// Mean logical messages per envelope (1.0 = no coalescing).
@@ -441,6 +452,15 @@ impl Harness {
         self.events.set(self.events.get() + rep.events);
         self.envelopes.set(self.envelopes.get() + rep.envelopes);
         self.queue_ops.set(self.queue_ops.get() + rep.queue_ops);
+        {
+            let mut fa = self.faults.borrow_mut();
+            fa.aborts += rep.faults.aborts;
+            fa.iterations_redone += rep.faults.iterations_redone;
+            fa.device_retries += rep.faults.device_retries;
+            fa.faulted_time += rep.faults.faulted_time;
+            fa.checkpoint_bytes += rep.faults.checkpoint_bytes;
+            fa.checkpoint_time += rep.faults.checkpoint_time;
+        }
         // Order-sensitive mix of the per-run digests (runs are driven in a
         // fixed order per experiment).
         self.digest
@@ -566,6 +586,12 @@ pub fn metrics_json(reports: &[(String, RunReport)]) -> String {
             ("compactions", rep.compactions()),
             ("cluster_bins", u64::from(rep.cluster_bins)),
             ("device_bytes", rep.total_device_bytes()),
+            ("aborts", rep.faults.aborts),
+            ("iterations_redone", rep.faults.iterations_redone),
+            ("device_retries", rep.faults.device_retries),
+            ("faulted_time_ns", rep.faults.faulted_time),
+            ("checkpoint_bytes", rep.faults.checkpoint_bytes),
+            ("checkpoint_time_ns", rep.faults.checkpoint_time),
         ] {
             out.push_str(&format!("      \"{k}\": {v},\n"));
         }

@@ -116,6 +116,7 @@ mod tests {
             selectivity: vec![],
             window_widths: Default::default(),
             cluster_bins: 1,
+            faults: Default::default(),
             backend: crate::config::Backend::Sequential,
             windows: 0,
         }

@@ -20,10 +20,10 @@ use std::sync::Arc;
 
 use chaos_gas::GasProgram;
 use chaos_graph::{InputGraph, PartitionSpec, SizeModel};
-use chaos_net::Fabric;
+use chaos_net::{DegradedWindow, Fabric};
 use chaos_runtime::{DynActor, Executor};
 use chaos_sim::{Rng, Time};
-use chaos_storage::Device;
+use chaos_storage::{Device, FaultWindow};
 
 use crate::compute_engine::ComputeEngine;
 use crate::config::{Backend, ChaosConfig, Placement};
@@ -87,7 +87,21 @@ impl<P: GasProgram> Cluster<P> {
         );
         let cfg = Arc::new(cfg);
         let mut rng = Rng::new(cfg.seed);
-        let fabric = Fabric::new(cfg.fabric.clone());
+        let mut fabric = Fabric::new(cfg.fabric.clone());
+        // Install the fault plan's static degradation windows; an empty
+        // plan leaves the fabric on the exact fault-free path.
+        fabric.set_degraded(
+            cfg.faults
+                .fabric
+                .iter()
+                .map(|f| DegradedWindow {
+                    machine: f.machine,
+                    from: f.from,
+                    until: f.until,
+                    extra: f.extra,
+                })
+                .collect(),
+        );
         let computes: Vec<ComputeEngine<P>> = (0..cfg.machines)
             .map(|i| {
                 ComputeEngine::new(
@@ -101,10 +115,24 @@ impl<P: GasProgram> Cluster<P> {
             .collect();
         let mut storages: Vec<StorageEngine<P>> = (0..cfg.machines)
             .map(|i| {
+                let mut device = Device::new(cfg.device);
+                device.set_faults(
+                    cfg.faults
+                        .device
+                        .iter()
+                        .filter(|f| f.machine == i)
+                        .map(|f| FaultWindow {
+                            from: f.from,
+                            until: f.until,
+                            reads: f.reads,
+                            writes: f.writes,
+                        })
+                        .collect(),
+                );
                 StorageEngine::new(
                     i,
                     Arc::clone(&params),
-                    Device::new(cfg.device),
+                    device,
                     cfg.pagecache_bytes,
                     cfg.spill_dir.as_deref(),
                 )
@@ -123,7 +151,8 @@ impl<P: GasProgram> Cluster<P> {
         let coordinator = Coordinator::new(
             cfg.machines,
             program,
-            cfg.failure,
+            cfg.faults.crashes.clone(),
+            cfg.checkpoint,
             cfg.placement == Placement::Centralized,
         );
         let topology = ClusterTopology {
@@ -178,6 +207,18 @@ impl<P: GasProgram> Cluster<P> {
             c.start(&mut ctx);
             self.sched.absorb(&mut ctx, &mut self.fabric);
         }
+        // Arm the fault plan's time-triggered crashes as coordinator
+        // self-events. They carry generation 0; after a recovery the
+        // coordinator re-arms any still-future triggers under its new
+        // generation, so stale timers are dropped by the dispatch filter.
+        let timers = self.coordinator.timer_times();
+        if !timers.is_empty() {
+            let mut ctx = Ctx::new(0, 0);
+            for t in timers {
+                ctx.at(t, Addr::Coordinator, Msg::FaultTimer);
+            }
+            self.sched.absorb(&mut ctx, &mut self.fabric);
+        }
         // The actor table, ordered by `ClusterTopology` slot: computes,
         // storages, then the two singletons.
         let mut actors: Vec<DynActor<'_, Addr, Msg<P>>> = self
@@ -214,6 +255,16 @@ impl<P: GasProgram> Cluster<P> {
         for s in &self.storages {
             s.accumulate_window_stats(&mut window_widths);
         }
+        let faults = crate::metrics::FaultAccount {
+            aborts: self.coordinator.aborts,
+            iterations_redone: self.coordinator.iterations_redone,
+            device_retries: self.storages.iter().map(|s| s.device_retries).sum(),
+            faulted_time: self.storages.iter().map(|s| s.faulted_time).sum::<Time>()
+                + self.fabric.stats().degraded_time,
+            checkpoint_bytes: self.storages.iter().map(|s| s.checkpoint_bytes).sum(),
+            checkpoint_time: self.storages.iter().map(|s| s.checkpoint_time).sum(),
+            abort_log: self.coordinator.abort_log.clone(),
+        };
         RunReport {
             runtime: self.sched.now(),
             preprocess_time: self.coordinator.preprocess_end,
@@ -236,6 +287,7 @@ impl<P: GasProgram> Cluster<P> {
             selectivity,
             window_widths,
             cluster_bins: self.params.cluster.bins(),
+            faults,
             backend: self.cfg.backend,
             windows: self.windows,
         }

@@ -202,12 +202,12 @@ struct Preprocess<P: GasProgram> {
     _marker: std::marker::PhantomData<P>,
 }
 
-/// Checkpoint progress at a barrier.
+/// Checkpoint copy progress at a barrier (phase one of §6.6; phase two —
+/// the commit round — is coordinator-driven once every machine arrived).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CkptState {
     Idle,
     Copy(usize),
-    Commit(usize),
     Done,
 }
 
@@ -286,6 +286,13 @@ pub struct ComputeEngine<P: GasProgram> {
     agg: IterationAggregates,
     barrier_sent: bool,
     arrive_time: Time,
+    /// Highest iteration whose predecessor's `end_iteration` this engine
+    /// has replayed (scatter-release bookkeeping). Not reset on abort: a
+    /// redo release must not replay the transition a second time —
+    /// `end_iteration` may switch program phase state (e.g. MCST's
+    /// min-edge/reduce/contract machine) and is exactly-once per
+    /// iteration.
+    replayed_iters: u32,
     getaccums_wait_since: Time,
     /// Per-machine Figure 17 breakdown.
     pub breakdown: Breakdown,
@@ -364,6 +371,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             agg: IterationAggregates::default(),
             barrier_sent: false,
             arrive_time: 0,
+            replayed_iters: 0,
             getaccums_wait_since: 0,
             breakdown: Breakdown::default(),
             steals: 0,
@@ -922,13 +930,26 @@ impl<P: GasProgram> ComputeEngine<P> {
         }
     }
 
-    /// VertexInit barrier check.
+    /// VertexInit barrier check. With checkpointing on, the initial vertex
+    /// states are copied into the checkpoint area before arriving, so the
+    /// commit round at this barrier gives iteration 0 a committed snapshot
+    /// to roll back to.
     fn maybe_arrive_simple(&mut self, ctx: &mut Ctx<P>) {
         if self.phase == PhaseKind::VertexInit
             && !self.barrier_sent
             && self.pending_inits == 0
             && self.pending_write_acks == 0
         {
+            if self.cfg.checkpoint {
+                match self.ckpt {
+                    CkptState::Idle => {
+                        self.start_checkpoint(ctx);
+                        return;
+                    }
+                    CkptState::Copy(_) => return,
+                    CkptState::Done => {}
+                }
+            }
             self.arrive_barrier(ctx);
         }
     }
@@ -1728,7 +1749,7 @@ impl<P: GasProgram> ComputeEngine<P> {
                     self.start_checkpoint(ctx);
                     return;
                 }
-                CkptState::Copy(_) | CkptState::Commit(_) => return,
+                CkptState::Copy(_) => return,
                 CkptState::Done => {}
             }
         }
@@ -1764,36 +1785,15 @@ impl<P: GasProgram> ComputeEngine<P> {
         match self.ckpt {
             CkptState::Copy(n) => {
                 if n == 1 {
-                    // Phase two: commit on every engine that holds chunks of
-                    // our partitions (broadcast for simplicity).
-                    self.ckpt = CkptState::Commit(self.m());
-                    for s in 0..self.m() {
-                        ctx.send(
-                            self.machine,
-                            Addr::Storage(s),
-                            Msg::CheckpointCommit { from: self.machine },
-                            CONTROL_BYTES,
-                        );
-                    }
+                    // Copy complete; the coordinator drives phase two (the
+                    // commit round) once every machine has arrived.
+                    self.ckpt = CkptState::Done;
+                    self.arrive_barrier(ctx);
                 } else {
                     self.ckpt = CkptState::Copy(n - 1);
                 }
             }
             _ => panic!("checkpoint ack in state {:?}", self.ckpt),
-        }
-    }
-
-    fn on_ckpt_commit_ack(&mut self, ctx: &mut Ctx<P>) {
-        match self.ckpt {
-            CkptState::Commit(n) => {
-                if n == 1 {
-                    self.ckpt = CkptState::Done;
-                    self.arrive_barrier(ctx);
-                } else {
-                    self.ckpt = CkptState::Commit(n - 1);
-                }
-            }
-            _ => panic!("commit ack in state {:?}", self.ckpt),
         }
     }
 
@@ -1829,10 +1829,14 @@ impl<P: GasProgram> ComputeEngine<P> {
         match next {
             PhaseKind::VertexInit => self.start_vertex_init(ctx),
             PhaseKind::Scatter => {
-                if iter > 0 {
+                if iter > 0 && self.replayed_iters < iter {
                     // Synchronize program phase state with the coordinator's
-                    // end-of-iteration decision (deterministic).
+                    // end-of-iteration decision (deterministic). Guarded so
+                    // a redo release after an abort does not replay a
+                    // transition this engine already made — end_iteration
+                    // is exactly-once per completed iteration.
                     let _ = self.program.end_iteration(iter - 1, &agg);
+                    self.replayed_iters = iter;
                 }
                 self.start_phase(ctx, PhaseKind::Scatter, iter);
             }
@@ -1873,6 +1877,8 @@ impl<P: GasProgram> ComputeEngine<P> {
         self.iter = iter;
         // The redone iteration re-records its selectivity account from
         // scratch; the aborted attempt's partial counts die with it.
+        // (`iter` is the resume iteration, so a crash that advances past a
+        // completed iteration keeps that iteration's row.)
         self.selectivity.truncate(iter as usize);
         ctx.send(self.machine, Addr::Coordinator, Msg::AbortAck, CONTROL_BYTES);
     }
@@ -1946,7 +1952,6 @@ impl<P: GasProgram> Actor for ComputeEngine<P> {
                     }
                 }
             }
-            Msg::CheckpointCommitAck => self.on_ckpt_commit_ack(ctx),
             Msg::DegreeContrib { part, counts, from } => {
                 self.on_degree_contrib(ctx, part, &counts, from)
             }
@@ -2016,7 +2021,11 @@ impl<P: GasProgram> Actor for ComputeEngine<P> {
                 agg,
                 done,
             } => self.on_release(ctx, next, iter, agg, done),
-            Msg::Abort { gen, iter } => self.on_abort(ctx, gen, iter),
+            Msg::Abort {
+                gen,
+                iter,
+                commit: _,
+            } => self.on_abort(ctx, gen, iter),
             Msg::DirWriteResp {
                 part,
                 kind,

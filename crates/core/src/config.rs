@@ -4,6 +4,8 @@ use chaos_net::FabricConfig;
 use chaos_sim::{QueueKind, Time, GIB, KIB, MIB};
 use chaos_storage::DeviceProfile;
 
+use crate::fault::FaultPlan;
+
 /// How chunk placement and lookup are decided (§6.2 / Figure 15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -129,18 +131,6 @@ impl std::fmt::Display for Streaming {
     }
 }
 
-/// Where a transient machine failure is injected (for the fault-tolerance
-/// experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FailureSpec {
-    /// The machine that fails.
-    pub machine: usize,
-    /// The iteration whose scatter phase is interrupted.
-    pub iteration: u32,
-    /// Reboot time before the machine rejoins.
-    pub downtime: Time,
-}
-
 /// Full configuration of a Chaos run.
 #[derive(Debug, Clone)]
 pub struct ChaosConfig {
@@ -176,8 +166,9 @@ pub struct ChaosConfig {
     pub checkpoint: bool,
     /// Centralized-directory service time per operation.
     pub directory_op_ns: u64,
-    /// Optional transient-failure injection (requires `checkpoint`).
-    pub failure: Option<FailureSpec>,
+    /// Fault-injection schedule (crashes require `checkpoint`); the empty
+    /// plan is a fault-free run. See [`crate::fault::FaultPlan`].
+    pub faults: FaultPlan,
     /// Spill chunk payloads to real files under this directory (one
     /// subdirectory per machine, one file per (partition, structure) as in
     /// §7 of the paper). `None` keeps payloads in memory; simulated I/O
@@ -253,7 +244,7 @@ impl ChaosConfig {
             // a few machines generate and well below what 32 machines of
             // chunk traffic demand, which is exactly the Figure 15 cliff.
             directory_op_ns: 10_000,
-            failure: None,
+            faults: FaultPlan::none(),
             spill_dir: None,
             backend: Backend::Sequential,
             queue: QueueKind::default(),
@@ -276,6 +267,13 @@ impl ChaosConfig {
     /// serves only).
     pub fn with_block_records(mut self, block_records: u32) -> Self {
         self.block_records = block_records;
+        self
+    }
+
+    /// Schedules a single transient crash at a scatter barrier (requires
+    /// `checkpoint`); richer schedules go through [`FaultPlan`] directly.
+    pub fn with_crash(mut self, machine: usize, iteration: u32, downtime: Time) -> Self {
+        self.faults = FaultPlan::crash(machine, iteration, downtime);
         self
     }
 
@@ -348,13 +346,13 @@ impl ChaosConfig {
         if self.cores == 0 {
             return Err("need at least one core".into());
         }
-        if let Some(f) = &self.failure {
-            if !self.checkpoint {
-                return Err("failure injection requires checkpointing".into());
-            }
-            if f.machine >= self.machines {
-                return Err("failed machine out of range".into());
-            }
+        self.faults.validate(self.machines, self.checkpoint)?;
+        if !self.faults.crashes.is_empty() && self.placement == Placement::Centralized {
+            return Err(
+                "crash injection under the centralized directory is unsupported (the \
+                 directory does not participate in abort/rollback)"
+                    .into(),
+            );
         }
         if self.backend == (Backend::Parallel { threads: 0 }) {
             return Err("parallel backend needs at least one thread".into());
@@ -391,15 +389,12 @@ mod tests {
         let mut c = ChaosConfig::new(2);
         c.batch_window = 0;
         assert!(c.validate().is_err());
-        let mut c = ChaosConfig::new(2);
-        c.failure = Some(FailureSpec {
-            machine: 0,
-            iteration: 1,
-            downtime: 0,
-        });
+        let mut c = ChaosConfig::new(2).with_crash(0, 1, 0);
         assert!(c.validate().is_err(), "failure without checkpointing");
         c.checkpoint = true;
         assert!(c.validate().is_ok());
+        c.placement = Placement::Centralized;
+        assert!(c.validate().is_err(), "crashes need abort-aware placement");
     }
 
     #[test]

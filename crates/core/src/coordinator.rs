@@ -6,15 +6,64 @@
 //! program for the end-of-iteration decision (every computation engine
 //! replays the same decision from the broadcast aggregates, so program
 //! phase state stays consistent cluster-wide), resets edge-chunk epochs
-//! between iterations, and drives transient-failure recovery (§6.6).
+//! between iterations, drives the checkpoint commit round, and runs
+//! transient-failure recovery (§6.6) for the fault plan's crash schedule.
+//!
+//! # Checkpoint commit
+//!
+//! Checkpointing is two-phase (§6.6): computation engines copy their
+//! vertex chunks into per-storage checkpoint areas before arriving at the
+//! vertex-init and gather barriers (phase one), and the *coordinator*
+//! broadcasts a single `CheckpointCommit` round once every machine has
+//! arrived (phase two). Because the commit only starts after the barrier —
+//! i.e. after every copy completed everywhere — the pending snapshot is
+//! globally consistent the moment the round begins, which is what makes
+//! crash-during-commit recovery possible: promote the pending snapshot and
+//! resume *past* the completed iteration instead of redoing it. The extra
+//! commit at the vertex-init barrier gives iteration 0 a committed
+//! snapshot to roll back to, so crashes are safe from the first scatter
+//! on.
+//!
+//! # Generations and overlapping crashes
+//!
+//! Every abort bumps the protocol generation; the executor drops events
+//! addressed to an actor from generations older than the actor's, so all
+//! in-flight traffic of the abandoned attempt — including the
+//! coordinator's own pending self-events (reboot and fault timers) — dies
+//! on delivery. A crash landing while a prior abort is still collecting
+//! `AbortAck`s simply starts another round: acks of the superseded
+//! generation are dropped, every engine re-acks under the new generation,
+//! and reboot deadlines compose by `max`. The resume point is decided once
+//! per recovery episode (at its first crash) and kept by later overlapping
+//! crashes, which restore the same committed snapshot.
 
 use chaos_gas::{Control, GasProgram, IterationAggregates};
 use chaos_runtime::Actor;
 use chaos_sim::Time;
 
-use crate::config::FailureSpec;
+use crate::fault::{CrashFault, CrashTrigger};
+use crate::metrics::AbortRecord;
 use crate::msg::{Msg, PhaseKind, CONTROL_BYTES};
 use crate::runtime::{Addr, Ctx};
+
+/// Where the cluster resumes once the current recovery episode quiesces.
+#[derive(Debug, Clone, Copy)]
+enum Resume {
+    /// Redo an interrupted iteration from the last committed checkpoint.
+    Redo {
+        /// Iteration to redo.
+        iter: u32,
+    },
+    /// The crash landed after the iteration logically completed (its
+    /// commit or epoch-reset round was in flight): resume into the next
+    /// iteration on the promoted snapshot.
+    Advance {
+        /// Iteration to resume into.
+        iter: u32,
+        /// Whether the completed iteration ended the computation.
+        done: bool,
+    },
+}
 
 /// The coordinator actor (one per cluster, co-located with machine 0).
 pub struct Coordinator<P: GasProgram> {
@@ -33,21 +82,33 @@ pub struct Coordinator<P: GasProgram> {
     pub done: bool,
     /// Protocol generation (bumped on failure recovery).
     pub gen: u32,
-    failure: Option<FailureSpec>,
+    /// Remaining crash schedule (`None` = fired).
+    crashes: Vec<Option<CrashFault>>,
+    checkpoint: bool,
+    commit_pending: usize,
     abort_acks: usize,
     reboot_pending: bool,
+    reboot_at: Time,
+    resume: Resume,
     centralized: bool,
     /// Number of global barriers crossed (metrics).
     pub barriers: u64,
+    /// Abort rounds broadcast (fault account).
+    pub aborts: u64,
+    /// Iterations rolled back and redone (fault account).
+    pub iterations_redone: u64,
+    /// One entry per abort broadcast, in order (fault account).
+    pub abort_log: Vec<AbortRecord>,
 }
 
 impl<P: GasProgram> Coordinator<P> {
-    /// Creates the coordinator; `centralized` adds the directory to the
-    /// epoch-reset round.
+    /// Creates the coordinator; `checkpoint` enables the commit rounds,
+    /// `centralized` adds the directory to the epoch-reset round.
     pub fn new(
         machines: usize,
         program: P,
-        failure: Option<FailureSpec>,
+        crashes: Vec<CrashFault>,
+        checkpoint: bool,
         centralized: bool,
     ) -> Self {
         Self {
@@ -62,12 +123,36 @@ impl<P: GasProgram> Coordinator<P> {
             preprocess_end: 0,
             done: false,
             gen: 0,
-            failure,
+            crashes: crashes.into_iter().map(Some).collect(),
+            checkpoint,
+            commit_pending: 0,
             abort_acks: 0,
             reboot_pending: false,
+            reboot_at: 0,
+            resume: Resume::Redo { iter: 0 },
             centralized,
             barriers: 0,
+            aborts: 0,
+            iterations_redone: 0,
+            abort_log: Vec::new(),
         }
+    }
+
+    /// The absolute times of the plan's time-triggered crashes, for the
+    /// cluster to arm as initial [`Msg::FaultTimer`] self-events.
+    pub fn timer_times(&self) -> Vec<Time> {
+        self.crashes
+            .iter()
+            .flatten()
+            .filter_map(|c| match c.trigger {
+                CrashTrigger::Time(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn recovering(&self) -> bool {
+        self.abort_acks > 0 || self.reboot_pending
     }
 
     fn release(&mut self, ctx: &mut Ctx<P>, next: PhaseKind, iter: u32, done: bool) {
@@ -97,6 +182,61 @@ impl<P: GasProgram> Coordinator<P> {
         }
     }
 
+    /// Records the completed gather's aggregates and runs the program's
+    /// end-of-iteration decision (exactly once per completed iteration).
+    fn complete_iteration(&mut self) -> bool {
+        let iter = self.iter;
+        let agg = std::mem::take(&mut self.agg);
+        self.history.push(agg);
+        self.program.end_iteration(iter, &agg) == Control::Done
+    }
+
+    /// Finishes a gather barrier after its aggregates are final (directly,
+    /// or once the checkpoint commit round completed).
+    fn finish_gather(&mut self, ctx: &mut Ctx<P>) {
+        if self.complete_iteration() {
+            self.done = true;
+            self.release(ctx, PhaseKind::Scatter, self.iter + 1, true);
+        } else {
+            // Edge cursors rewind before the next scatter (§7).
+            self.epoch_acks = self.machines + usize::from(self.centralized);
+            for s in 0..self.machines {
+                ctx.send(0, Addr::Storage(s), Msg::ResetEdgeEpoch, CONTROL_BYTES);
+            }
+            if self.centralized {
+                ctx.send(0, Addr::Directory, Msg::ResetEdgeEpoch, CONTROL_BYTES);
+            }
+        }
+    }
+
+    /// Broadcasts phase two of the checkpoint: every storage engine
+    /// promotes its pending snapshot and acks back here.
+    fn start_commit(&mut self, ctx: &mut Ctx<P>) {
+        self.commit_pending = self.machines;
+        for s in 0..self.machines {
+            ctx.send(
+                0,
+                Addr::Storage(s),
+                Msg::CheckpointCommit { from: usize::MAX },
+                CONTROL_BYTES,
+            );
+        }
+    }
+
+    /// All commit acks collected: the snapshot is durable, finish the
+    /// barrier it was taken at.
+    fn finish_commit(&mut self, ctx: &mut Ctx<P>) {
+        match self.phase {
+            PhaseKind::VertexInit => {
+                self.preprocess_end = ctx.now;
+                self.agg = IterationAggregates::default();
+                self.release(ctx, PhaseKind::Scatter, 0, false);
+            }
+            PhaseKind::Gather => self.finish_gather(ctx),
+            _ => unreachable!("commit rounds only run at vertex-init and gather barriers"),
+        }
+    }
+
     fn on_all_arrived(&mut self, ctx: &mut Ctx<P>) {
         self.barriers += 1;
         match self.phase {
@@ -105,41 +245,196 @@ impl<P: GasProgram> Coordinator<P> {
                 self.release(ctx, PhaseKind::VertexInit, 0, false);
             }
             PhaseKind::VertexInit => {
-                self.preprocess_end = ctx.now;
-                self.agg = IterationAggregates::default();
-                self.release(ctx, PhaseKind::Scatter, 0, false);
+                if self.checkpoint {
+                    // Commit the initial checkpoint so iteration 0 has a
+                    // snapshot to roll back to.
+                    self.start_commit(ctx);
+                } else {
+                    self.preprocess_end = ctx.now;
+                    self.agg = IterationAggregates::default();
+                    self.release(ctx, PhaseKind::Scatter, 0, false);
+                }
             }
             PhaseKind::Scatter => {
                 self.release(ctx, PhaseKind::Gather, self.iter, false);
             }
             PhaseKind::Gather => {
-                let iter = self.iter;
-                let agg = std::mem::take(&mut self.agg);
-                self.history.push(agg);
-                let control = self.program.end_iteration(iter, &agg);
-                if control == Control::Done {
-                    self.done = true;
-                    self.release(ctx, PhaseKind::Scatter, iter + 1, true);
+                if self.checkpoint {
+                    // A commit-window crash must be decided *before* the
+                    // commit round's messages are queued: sends are
+                    // generation-stamped at drain time, so a broadcast
+                    // queued ahead of the abort's bump would survive it
+                    // and its acks would corrupt `commit_pending`. The
+                    // abort itself promotes the pending snapshot at every
+                    // storage engine (`commit: true`), so the round's
+                    // effect still happens — via recovery instead.
+                    self.commit_pending = self.machines;
+                    if !self.try_commit_crash(ctx) {
+                        self.start_commit(ctx);
+                    }
                 } else {
-                    // Edge cursors rewind before the next scatter (§7).
-                    self.epoch_acks = self.machines + usize::from(self.centralized);
-                    for s in 0..self.machines {
-                        ctx.send(0, Addr::Storage(s), Msg::ResetEdgeEpoch, CONTROL_BYTES);
-                    }
-                    if self.centralized {
-                        ctx.send(0, Addr::Directory, Msg::ResetEdgeEpoch, CONTROL_BYTES);
-                    }
+                    self.finish_gather(ctx);
                 }
             }
         }
     }
 
-    fn start_abort(&mut self, ctx: &mut Ctx<P>) {
+    /// Whether a crash can land right now: only where a consistent
+    /// snapshot exists to recover to — during scatter/gather (the last
+    /// committed checkpoint), or inside a commit round (the pending
+    /// snapshot, complete everywhere, is promotable).
+    fn crash_eligible(&self) -> bool {
+        !self.done
+            && (matches!(self.phase, PhaseKind::Scatter | PhaseKind::Gather)
+                || self.commit_pending > 0)
+    }
+
+    /// Fires the earliest due time-triggered crash, if any. Called from
+    /// [`Msg::FaultTimer`] deliveries and, for triggers deferred while
+    /// ineligible (pre-processing, vertex init before its commit), from
+    /// barrier arrivals.
+    fn try_time_crash(&mut self, ctx: &mut Ctx<P>) -> bool {
+        if !self.crash_eligible() {
+            return false;
+        }
+        let mut due: Option<(usize, Time)> = None;
+        for (i, c) in self.crashes.iter().enumerate() {
+            if let Some(CrashFault {
+                trigger: CrashTrigger::Time(t),
+                ..
+            }) = c
+            {
+                if *t <= ctx.now && due.is_none_or(|(_, best)| *t < best) {
+                    due = Some((i, *t));
+                }
+            }
+        }
+        match due {
+            Some((i, _)) => {
+                let crash = self.crashes[i].take().expect("due crash present");
+                self.start_abort(ctx, crash);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fires a matching barrier-iteration trigger (or a deferred time
+    /// trigger) on a barrier arrival. Iteration triggers are not consumed
+    /// mid-recovery — no arrivals happen then anyway — so a trigger
+    /// matching a redone iteration fires again on the redo's first
+    /// arrival.
+    fn try_barrier_crash(&mut self, ctx: &mut Ctx<P>) -> bool {
+        if !self.done && !self.recovering() {
+            for i in 0..self.crashes.len() {
+                if let Some(CrashFault {
+                    trigger: CrashTrigger::Iteration { iteration, phase },
+                    ..
+                }) = self.crashes[i]
+                {
+                    if phase == self.phase && iteration == self.iter {
+                        let crash = self.crashes[i].take().expect("matched crash present");
+                        self.start_abort(ctx, crash);
+                        return true;
+                    }
+                }
+            }
+        }
+        self.try_time_crash(ctx)
+    }
+
+    /// Fires a matching commit trigger right after the commit broadcast of
+    /// the current gather barrier.
+    fn try_commit_crash(&mut self, ctx: &mut Ctx<P>) -> bool {
+        if self.recovering() {
+            return false;
+        }
+        for i in 0..self.crashes.len() {
+            if let Some(CrashFault {
+                trigger: CrashTrigger::Commit { iteration },
+                ..
+            }) = self.crashes[i]
+            {
+                if self.phase == PhaseKind::Gather && iteration == self.iter {
+                    let crash = self.crashes[i].take().expect("matched crash present");
+                    self.start_abort(ctx, crash);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The generation bump just invalidated every pending self-event of
+    /// the old generation; re-arm the future time triggers under the new
+    /// one. (Triggers already due fire at the next eligible delivery.)
+    fn rearm_timers(&mut self, ctx: &mut Ctx<P>) {
+        for c in self.crashes.iter().flatten() {
+            if let CrashTrigger::Time(t) = c.trigger {
+                if t > ctx.now {
+                    ctx.at(t, Addr::Coordinator, Msg::FaultTimer);
+                }
+            }
+        }
+    }
+
+    fn start_abort(&mut self, ctx: &mut Ctx<P>, crash: CrashFault) {
+        let fresh = !self.recovering();
         self.gen += 1;
         ctx.gen = self.gen;
         self.arrived = 0;
+        self.aborts += 1;
+        let mut commit = false;
+        if fresh {
+            // Decide the resume point once per recovery episode;
+            // overlapping crashes restore the same snapshot and keep it.
+            self.resume = if self.commit_pending > 0 {
+                // Every copy completed before the barrier released the
+                // commit round, so the pending snapshot is consistent:
+                // promote it and resume past the completed barrier.
+                commit = true;
+                self.commit_pending = 0;
+                match self.phase {
+                    PhaseKind::VertexInit => {
+                        self.preprocess_end = ctx.now;
+                        Resume::Advance {
+                            iter: 0,
+                            done: false,
+                        }
+                    }
+                    PhaseKind::Gather => {
+                        let done = self.complete_iteration();
+                        Resume::Advance {
+                            iter: self.iter + 1,
+                            done,
+                        }
+                    }
+                    _ => unreachable!("commit rounds only run at vertex-init and gather barriers"),
+                }
+            } else if self.phase == PhaseKind::Gather && self.epoch_acks > 0 {
+                // The iteration completed; only its epoch-reset round was
+                // in flight, and the abort itself rewinds edge epochs.
+                Resume::Advance {
+                    iter: self.iter + 1,
+                    done: false,
+                }
+            } else {
+                Resume::Redo { iter: self.iter }
+            };
+        }
+        self.epoch_acks = 0;
         self.agg = IterationAggregates::default();
-        // All engines abandon the iteration; storage restores checkpoints.
+        let (resume_iter, redo) = match self.resume {
+            Resume::Redo { iter } => (iter, true),
+            Resume::Advance { iter, .. } => (iter, false),
+        };
+        self.abort_log.push(AbortRecord {
+            time: ctx.now,
+            gen: self.gen,
+            resume_iter,
+            redo,
+        });
+        // All engines abandon the attempt; storage restores checkpoints.
         self.abort_acks = 2 * self.machines;
         for i in 0..self.machines {
             ctx.send(
@@ -147,7 +442,8 @@ impl<P: GasProgram> Coordinator<P> {
                 Addr::Compute(i),
                 Msg::Abort {
                     gen: self.gen,
-                    iter: self.iter,
+                    iter: resume_iter,
+                    commit,
                 },
                 CONTROL_BYTES,
             );
@@ -156,15 +452,41 @@ impl<P: GasProgram> Coordinator<P> {
                 Addr::Storage(i),
                 Msg::Abort {
                     gen: self.gen,
-                    iter: self.iter,
+                    iter: resume_iter,
+                    commit,
                 },
                 CONTROL_BYTES,
             );
         }
-        // The failed machine rejoins after its reboot delay.
-        let downtime = 30 * chaos_sim::SECS;
+        // The failed machine rejoins after its configured downtime;
+        // overlapping reboots compose by max.
+        let rejoin = ctx.now + crash.downtime;
+        self.reboot_at = if self.reboot_pending {
+            self.reboot_at.max(rejoin)
+        } else {
+            rejoin
+        };
         self.reboot_pending = true;
-        ctx.at(ctx.now + downtime, Addr::Coordinator, Msg::RebootDone);
+        ctx.at(self.reboot_at, Addr::Coordinator, Msg::RebootDone);
+        self.rearm_timers(ctx);
+    }
+
+    /// Recovery quiesced (all acks in, reboot complete): resume.
+    fn finish_recovery(&mut self, ctx: &mut Ctx<P>) {
+        match self.resume {
+            Resume::Redo { iter } => {
+                self.iterations_redone += 1;
+                self.release(ctx, PhaseKind::Scatter, iter, false);
+            }
+            Resume::Advance { iter, done } => {
+                if done {
+                    self.done = true;
+                    self.release(ctx, PhaseKind::Scatter, iter, true);
+                } else {
+                    self.release(ctx, PhaseKind::Scatter, iter, false);
+                }
+            }
+        }
     }
 }
 
@@ -180,14 +502,8 @@ impl<P: GasProgram> Actor for Coordinator<P> {
     fn handle(&mut self, ctx: &mut Ctx<P>, msg: Msg<P>) {
         match msg {
             Msg::BarrierArrive { from: _, agg } => {
-                // Failure injection: interrupt the configured scatter phase
-                // when its first machine reaches the barrier.
-                if let Some(f) = self.failure {
-                    if self.phase == PhaseKind::Scatter && self.iter == f.iteration {
-                        self.failure = None;
-                        self.start_abort(ctx);
-                        return;
-                    }
+                if self.try_barrier_crash(ctx) {
+                    return;
                 }
                 self.agg.absorb(&agg);
                 self.arrived += 1;
@@ -202,17 +518,26 @@ impl<P: GasProgram> Actor for Coordinator<P> {
                     self.release(ctx, PhaseKind::Scatter, self.iter + 1, false);
                 }
             }
+            Msg::CheckpointCommitAck => {
+                self.commit_pending -= 1;
+                if self.commit_pending == 0 {
+                    self.finish_commit(ctx);
+                }
+            }
             Msg::AbortAck => {
                 self.abort_acks -= 1;
                 if self.abort_acks == 0 && !self.reboot_pending {
-                    self.release(ctx, PhaseKind::Scatter, self.iter, false);
+                    self.finish_recovery(ctx);
                 }
             }
             Msg::RebootDone => {
                 self.reboot_pending = false;
                 if self.abort_acks == 0 {
-                    self.release(ctx, PhaseKind::Scatter, self.iter, false);
+                    self.finish_recovery(ctx);
                 }
+            }
+            Msg::FaultTimer => {
+                self.try_time_crash(ctx);
             }
             other => panic!("coordinator got unexpected message {other:?}"),
         }

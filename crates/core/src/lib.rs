@@ -54,6 +54,7 @@ pub mod compute_engine;
 pub mod config;
 pub mod coordinator;
 pub mod directory;
+pub mod fault;
 pub mod metrics;
 pub mod msg;
 pub mod runtime;
@@ -66,6 +67,7 @@ pub use chaos_runtime::{
 };
 pub use cluster::{run_chaos, Cluster};
 pub use chaos_sim::QueueKind;
-pub use config::{Backend, ChaosConfig, FailureSpec, Placement, Streaming};
-pub use metrics::{Breakdown, IterSelectivity, RunReport, WindowHistogram};
+pub use config::{Backend, ChaosConfig, Placement, Streaming};
+pub use fault::{CrashFault, CrashTrigger, DeviceFault, FabricFault, FaultPlan, FaultPlanConfig};
+pub use metrics::{Breakdown, FaultAccount, IterSelectivity, RunReport, WindowHistogram};
 pub use runtime::{Addr, ChaosActor, ClusterExecutor, ClusterScheduler, ClusterTopology, RunParams};

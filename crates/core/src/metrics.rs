@@ -194,6 +194,49 @@ impl WindowHistogram {
     }
 }
 
+/// One abort episode entry in the fault account's log: when the
+/// coordinator started (or re-started, for overlapping crashes) an abort,
+/// at which protocol generation, and where the cluster resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortRecord {
+    /// Simulated time the abort was broadcast.
+    pub time: Time,
+    /// Protocol generation the abort established.
+    pub gen: u32,
+    /// Iteration the cluster resumed into after recovery.
+    pub resume_iter: u32,
+    /// Whether the resume redoes an interrupted iteration (`false` when
+    /// the crash landed after the iteration logically completed and the
+    /// cluster advanced instead).
+    pub redo: bool,
+}
+
+/// The fault-injection account of a run: recovery work performed and
+/// fault-induced costs. Everything here is simulated and deterministic —
+/// identical across execution backends — so none of it is cleared by
+/// [`RunReport::normalized`]. All zeros (and an empty log) for fault-free
+/// runs without checkpointing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultAccount {
+    /// Abort rounds broadcast (one per crash, including overlapping
+    /// crashes that landed during a prior recovery).
+    pub aborts: u64,
+    /// Iterations rolled back and redone from a checkpoint.
+    pub iterations_redone: u64,
+    /// Storage-device operations that failed inside a fault window and
+    /// were retried with backoff.
+    pub device_retries: u64,
+    /// Simulated time lost to faults: device retry backoff plus fabric
+    /// degradation latency, summed over machines.
+    pub faulted_time: Time,
+    /// Bytes written to checkpoint areas (copy phase).
+    pub checkpoint_bytes: u64,
+    /// Device time spent writing checkpoints.
+    pub checkpoint_time: Time,
+    /// One entry per abort broadcast, in order.
+    pub abort_log: Vec<AbortRecord>,
+}
+
 /// Everything measured over one run of the engine.
 ///
 /// Reports compare equal (`PartialEq`) field by field; the backend-
@@ -256,6 +299,10 @@ pub struct RunReport {
     /// streaming, centralized placement) and keeps the arrival-order
     /// layout.
     pub cluster_bins: u32,
+    /// Fault-injection account: aborts, redone iterations, device retries,
+    /// fault-induced latency and checkpoint costs (simulated quantities,
+    /// backend-invariant).
+    pub faults: FaultAccount,
     /// Execution backend that drove the run (provenance; does not affect
     /// any simulated quantity).
     pub backend: crate::config::Backend,

@@ -345,8 +345,15 @@ pub enum Msg<P: GasProgram> {
     Abort {
         /// New protocol generation; stale messages are dropped.
         gen: u32,
-        /// Iteration to redo.
+        /// Iteration the cluster resumes into after recovery (the redone
+        /// iteration, or the next one when the crash landed after the
+        /// iteration logically completed).
         iter: u32,
+        /// Whether storage engines must promote their pending checkpoint
+        /// before restoring: the crash interrupted a commit round whose
+        /// copy phase had fully completed on every machine, so the pending
+        /// snapshot is the consistent one (crash-during-commit recovery).
+        commit: bool,
     },
     /// Storage finished restoring from checkpoint.
     AbortAck,
@@ -415,6 +422,11 @@ pub enum Msg<P: GasProgram> {
     },
     /// A failed machine finished rebooting.
     RebootDone,
+    /// Coordinator self-event arming a time-triggered crash from the fault
+    /// plan. Carries no payload: on delivery the coordinator fires every
+    /// due time trigger (the event time is the trigger time, so injection
+    /// is a pure function of simulated time and stays backend-invariant).
+    FaultTimer,
     /// Storage-internal deferred send: fires when the device completes,
     /// then routes `inner` over the fabric (keeps fabric calls
     /// time-ordered).
@@ -529,6 +541,7 @@ impl<P: GasProgram> std::fmt::Debug for Msg<P> {
             Msg::RemainingReq { .. } => "RemainingReq",
             Msg::RemainingResp { .. } => "RemainingResp",
             Msg::RebootDone => "RebootDone",
+            Msg::FaultTimer => "FaultTimer",
             Msg::StorageRespond { .. } => "StorageRespond",
             Msg::Batch(_) => "Batch",
         };

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use chaos_gas::{GasProgram, Update};
 use chaos_graph::Edge;
 use chaos_runtime::Actor;
-use chaos_sim::Time;
+use chaos_sim::{Time, MICROS};
 use chaos_storage::{BlockIndex, ChunkIndex, ChunkSet, Device, PageCache, VertexArray};
 
 use chaos_storage::FileBacking;
@@ -84,6 +84,15 @@ fn open_backing(dir: &std::path::Path, name: &str, part: usize) -> FileBacking {
 /// queries) and of page-cache hits.
 const METADATA_NS: Time = 2_000;
 
+/// Device-fault retry policy: bounded exponential backoff starting at
+/// `RETRY_BASE`, doubling up to `RETRY_CAP`; after `RETRY_MAX_ATTEMPTS`
+/// consecutive failures the engine stops probing and waits out the fault
+/// window itself. Fully deterministic — no randomness — so retry latency
+/// is identical on every backend.
+const RETRY_BASE: Time = 100 * MICROS;
+const RETRY_CAP: Time = 1_600 * MICROS;
+const RETRY_MAX_ATTEMPTS: u32 = 6;
+
 /// The storage engine of one machine.
 pub struct StorageEngine<P: GasProgram> {
     machine: usize,
@@ -112,6 +121,14 @@ pub struct StorageEngine<P: GasProgram> {
     vertices: Vec<VertexArray<P::VertexState>>,
     ckpt_pending: Vec<VertexArray<P::VertexState>>,
     ckpt_committed: Vec<VertexArray<P::VertexState>>,
+    /// Fault account: transient device faults absorbed by retrying.
+    pub device_retries: u64,
+    /// Fault account: simulated time spent backing off on faulted devices.
+    pub faulted_time: Time,
+    /// Fault account: bytes written into checkpoint snapshots.
+    pub checkpoint_bytes: u64,
+    /// Fault account: device time charged to checkpoint snapshot writes.
+    pub checkpoint_time: Time,
 }
 
 impl<P: GasProgram> StorageEngine<P> {
@@ -171,6 +188,10 @@ impl<P: GasProgram> StorageEngine<P> {
             ckpt_committed: (0..parts)
                 .map(|_| VertexArray::new(params.vstate_bytes))
                 .collect(),
+            device_retries: 0,
+            faulted_time: 0,
+            checkpoint_bytes: 0,
+            checkpoint_time: 0,
             params,
         }
     }
@@ -263,7 +284,7 @@ impl<P: GasProgram> StorageEngine<P> {
                 }
             }
         }
-        let done = self.device.write(now, bytes);
+        let done = self.device_write(now, bytes);
         self.respond_at(
             ctx,
             done,
@@ -380,6 +401,75 @@ impl<P: GasProgram> StorageEngine<P> {
         }
     }
 
+    /// Serves one device operation through the fault layer. A transient
+    /// device fault ([`chaos_storage::DeviceError`]) is absorbed by
+    /// retrying with bounded exponential backoff; after
+    /// `RETRY_MAX_ATTEMPTS` failures the engine waits out the fault
+    /// window reported by the device. The backoff delay is charged as
+    /// storage latency (the request completes later), counted in
+    /// `device_retries` / `faulted_time`. With no fault window covering
+    /// `now` this is arithmetically identical to a plain
+    /// `Device::read`/`Device::write`.
+    fn device_io(&mut self, now: Time, bytes: u64, write: bool) -> Time {
+        let mut at = now;
+        let mut backoff = RETRY_BASE;
+        let mut attempts = 0u32;
+        loop {
+            let res = if write {
+                self.device.try_write(at, bytes)
+            } else {
+                self.device.try_read(at, bytes)
+            };
+            match res {
+                Ok(done) => {
+                    self.faulted_time += at - now;
+                    return done;
+                }
+                Err(e) => {
+                    self.device_retries += 1;
+                    attempts += 1;
+                    at = if attempts >= RETRY_MAX_ATTEMPTS {
+                        // Give up probing: the device told us when the
+                        // fault window closes; resume right there.
+                        at.max(e.until)
+                    } else {
+                        at + backoff
+                    };
+                    backoff = (backoff * 2).min(RETRY_CAP);
+                }
+            }
+        }
+    }
+
+    /// A device read with transient-fault retry (see [`Self::device_io`]).
+    fn device_read(&mut self, now: Time, bytes: u64) -> Time {
+        self.device_io(now, bytes, false)
+    }
+
+    /// A device write with transient-fault retry (see [`Self::device_io`]).
+    fn device_write(&mut self, now: Time, bytes: u64) -> Time {
+        self.device_io(now, bytes, true)
+    }
+
+    /// Promotes the pending checkpoint snapshot to committed, dropping
+    /// the previous checkpoint only now (phase two of §6.6).
+    fn promote_checkpoint(&mut self) {
+        for part in 0..self.ckpt_pending.len() {
+            let pending = std::mem::replace(
+                &mut self.ckpt_pending[part],
+                VertexArray::new(self.params.vstate_bytes),
+            );
+            for no in 0..u32::MAX {
+                match pending.get(no) {
+                    Some(c) => {
+                        self.ckpt_committed[part].put(no, c);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
     /// Defers `msg` until the device completes at `at`, then sends it to
     /// the computation engine of machine `to` with the given wire size.
     fn respond_at(
@@ -420,7 +510,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
             Msg::InputChunkReq { from } => match self.input.serve_next().expect("mem io") {
                 Some(data) => {
                     let bytes = data.len() as u64 * self.params.edge_bytes;
-                    let done = self.device.read(now, bytes);
+                    let done = self.device_read(now, bytes);
                     self.respond_at(
                         ctx,
                         done,
@@ -477,7 +567,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 match outcome.served {
                     Some(served) => {
                         let bytes = served.data.len() as u64 * self.params.edge_bytes;
-                        let done = self.device.read(now, bytes);
+                        let done = self.device_read(now, bytes);
                         self.respond_at(
                             ctx,
                             done,
@@ -512,9 +602,11 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                     Some(data) => {
                         let bytes = data.len() as u64 * self.params.update_bytes;
                         let done = if self.cache.read_hits() {
+                            // Cache hits are a memory path: device faults
+                            // cannot touch them.
                             self.device.cache_read(now, bytes) + METADATA_NS
                         } else {
-                            self.device.read(now, bytes)
+                            self.device_read(now, bytes)
                         };
                         self.respond_at(
                             ctx,
@@ -550,7 +642,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                     .get(chunk_no)
                     .expect("vertex chunk must exist at its home engine");
                 let bytes = data.len() as u64 * self.params.vstate_bytes;
-                let done = self.device.read(now, bytes);
+                let done = self.device_read(now, bytes);
                 self.respond_at(
                     ctx,
                     done,
@@ -595,7 +687,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                     bytes += w.data.len() as u64 * self.params.edge_bytes;
                     self.merge_edge_write(w.part, w.reverse, w.data);
                 }
-                let done = self.device.write(now, bytes);
+                let done = self.device_write(now, bytes);
                 self.respond_at(
                     ctx,
                     done,
@@ -617,7 +709,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 let bytes = data.len() as u64 * self.params.update_bytes;
                 self.updates[part].append(data).expect("mem io");
                 self.cache.insert(bytes);
-                let done = self.device.write(now, bytes);
+                let done = self.device_write(now, bytes);
                 self.respond_at(
                     ctx,
                     done,
@@ -635,7 +727,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 from,
             } => {
                 let bytes = self.vertices[part].put(chunk_no, data);
-                let done = self.device.write(now, bytes);
+                let done = self.device_write(now, bytes);
                 self.respond_at(
                     ctx,
                     done,
@@ -677,7 +769,9 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 // The live chunk was just written by the master's apply and
                 // is still in the cache; the checkpoint copy costs one
                 // device write.
-                let done = self.device.write(now, bytes);
+                let done = self.device_write(now, bytes);
+                self.checkpoint_bytes += bytes;
+                self.checkpoint_time += done - now;
                 self.respond_at(
                     ctx,
                     done,
@@ -691,20 +785,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
             Msg::CheckpointCommit { from } => {
                 // Phase two of the 2-phase protocol: promote pending copies,
                 // dropping the previous checkpoint only now (§6.6).
-                for part in 0..self.ckpt_pending.len() {
-                    let pending = std::mem::replace(
-                        &mut self.ckpt_pending[part],
-                        VertexArray::new(self.params.vstate_bytes),
-                    );
-                    for no in 0..u32::MAX {
-                        match pending.get(no) {
-                            Some(c) => {
-                                self.ckpt_committed[part].put(no, c);
-                            }
-                            None => break,
-                        }
-                    }
-                }
+                self.promote_checkpoint();
                 self.respond_at(
                     ctx,
                     now + METADATA_NS,
@@ -715,9 +796,27 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
             }
 
             // --------------------------------------------------- recovery
-            Msg::Abort { gen, iter: _ } => {
+            Msg::Abort {
+                gen,
+                iter: _,
+                commit,
+            } => {
                 self.gen = gen;
                 ctx.gen = gen;
+                if commit {
+                    // The crash hit after every machine finished its copy
+                    // phase but before the commit round completed: the
+                    // pending snapshot is globally consistent, so finish
+                    // the commit now and recover from it.
+                    self.promote_checkpoint();
+                } else {
+                    // Discard any half-taken snapshot — recovery rolls
+                    // back to the last *committed* checkpoint, and the
+                    // next copy phase starts from scratch.
+                    for part in 0..self.ckpt_pending.len() {
+                        self.ckpt_pending[part] = VertexArray::new(self.params.vstate_bytes);
+                    }
+                }
                 // Drop this iteration's partial update sets; rewind edge
                 // cursors; restore vertex chunks from the committed
                 // checkpoint.
@@ -738,9 +837,11 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                         }
                     }
                 }
-                // Restoration I/O: read checkpoint, write live copies.
-                self.device.read(now, restored_bytes);
-                let done = self.device.write(now, restored_bytes);
+                // Restoration I/O: read checkpoint, write live copies —
+                // through the fault layer, so a device fault during
+                // recovery only delays the AbortAck.
+                self.device_read(now, restored_bytes);
+                let done = self.device_write(now, restored_bytes);
                 ctx.at(
                     done,
                     Addr::Storage(me),

@@ -72,6 +72,24 @@ impl FabricConfig {
     }
 }
 
+/// One fabric degradation window: remote messages touching `machine` —
+/// as sender or receiver — pay `extra` additional delivery latency while
+/// `from <= now < until`, modelling a slow-NIC straggler. The penalty is
+/// purely *additive*, so the conservative [`FabricConfig::min_latency`]
+/// lookahead bound the parallel executor synchronizes on stays valid and
+/// degraded runs remain bit-identical across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedWindow {
+    /// The straggler machine.
+    pub machine: usize,
+    /// First degraded instant (inclusive).
+    pub from: Time,
+    /// First healthy instant (exclusive end of the window).
+    pub until: Time,
+    /// Extra delivery latency per affected message.
+    pub extra: Time,
+}
+
 /// Per-fabric transfer statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FabricStats {
@@ -83,6 +101,10 @@ pub struct FabricStats {
     pub local_messages: u64,
     /// Total bytes delivered machine-locally.
     pub local_bytes: u64,
+    /// Remote messages that paid a degradation penalty.
+    pub degraded_messages: u64,
+    /// Total extra latency charged by degradation windows.
+    pub degraded_time: Time,
 }
 
 /// The fabric: computes arrival times for messages and accounts bytes.
@@ -92,6 +114,7 @@ pub struct Fabric {
     tx: Vec<Resource>,
     rx: Vec<Resource>,
     switch: Option<Resource>,
+    degraded: Vec<DegradedWindow>,
     stats: FabricStats,
 }
 
@@ -117,8 +140,15 @@ impl Fabric {
             tx,
             rx,
             switch,
+            degraded: Vec::new(),
             stats: FabricStats::default(),
         }
+    }
+
+    /// Installs the degradation windows for this run. An empty list (the
+    /// default) leaves every delivery on the exact fault-free path.
+    pub fn set_degraded(&mut self, windows: Vec<DegradedWindow>) {
+        self.degraded = windows;
     }
 
     /// The configuration this fabric was built with.
@@ -155,6 +185,18 @@ impl Fabric {
         }
         self.stats.remote_messages += 1;
         self.stats.remote_bytes += bytes;
+        // Slow-NIC straggler penalty: sum the extra latency of every
+        // degradation window covering `now` on either endpoint.
+        let mut extra = 0;
+        for w in &self.degraded {
+            if (w.machine == from || w.machine == to) && w.from <= now && now < w.until {
+                extra += w.extra;
+            }
+        }
+        if extra > 0 {
+            self.stats.degraded_messages += 1;
+            self.stats.degraded_time += extra;
+        }
         // Serialize out of the sender NIC...
         let tx_done = self.tx[from].serve(now, bytes);
         // ...optionally through a capped switch...
@@ -163,8 +205,8 @@ impl Fabric {
             None => tx_done,
         };
         // ...propagate, then absorb into the receiver NIC (incast queues
-        // build up here).
-        self.rx[to].serve(through + self.cfg.propagation, bytes)
+        // build up here), paying any straggler penalty on top.
+        self.rx[to].serve(through + self.cfg.propagation, bytes) + extra
     }
 
     /// Aggregate bytes moved through the switch per second over `[0, horizon]`.
@@ -290,6 +332,30 @@ mod tests {
         let b = f.send(0, 2, 3, 100 * MIB);
         // Disjoint NIC pairs, but the capped switch serializes the flows.
         assert!(b > a);
+    }
+
+    #[test]
+    fn degradation_windows_add_latency_for_either_endpoint() {
+        let mut healthy = fabric(3);
+        let mut f = fabric(3);
+        f.set_degraded(vec![DegradedWindow {
+            machine: 1,
+            from: 1000,
+            until: 2000,
+            extra: 77,
+        }]);
+        // Outside the window: identical to the healthy fabric.
+        assert_eq!(f.send(0, 0, 1, MIB), healthy.send(0, 0, 1, MIB));
+        // Inside, both directions touching machine 1 pay the penalty...
+        assert_eq!(f.send(1000, 0, 1, MIB), healthy.send(1000, 0, 1, MIB) + 77);
+        assert_eq!(f.send(1500, 1, 2, MIB), healthy.send(1500, 1, 2, MIB) + 77);
+        // ...while an unrelated pair and local deliveries do not.
+        assert_eq!(f.send(1500, 0, 2, MIB), healthy.send(1500, 0, 2, MIB));
+        assert_eq!(f.send(1500, 1, 1, 64), healthy.send(1500, 1, 1, 64));
+        assert_eq!(f.stats().degraded_messages, 2);
+        assert_eq!(f.stats().degraded_time, 154);
+        // The penalty is additive: the lookahead bound still holds.
+        assert!(f.send(1999, 0, 1, 1) >= 1999 + f.min_end_to_end_latency());
     }
 
     #[test]

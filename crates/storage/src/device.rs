@@ -40,6 +40,32 @@ impl DeviceProfile {
     }
 }
 
+/// One transient fault window: the device rejects the selected operation
+/// kinds while `from <= now < until`. Windows are static for a run —
+/// injection is a pure function of simulated time, which keeps faulted
+/// runs bit-identical across executor backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First faulted instant (inclusive).
+    pub from: Time,
+    /// First healthy instant (exclusive end of the window).
+    pub until: Time,
+    /// Whether reads fault inside the window.
+    pub reads: bool,
+    /// Whether writes fault inside the window.
+    pub writes: bool,
+}
+
+/// A transient device fault reported by [`Device::try_read`] /
+/// [`Device::try_write`]: the operation was rejected without occupying
+/// the device. Carries when the last covering window closes so callers
+/// can bound their retry loops deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceError {
+    /// Earliest instant at which the operation can succeed again.
+    pub until: Time,
+}
+
 /// Per-direction byte counters for a device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -66,6 +92,7 @@ pub struct Device {
     profile: DeviceProfile,
     server: Resource,
     stats: DeviceStats,
+    faults: Vec<FaultWindow>,
 }
 
 impl Device {
@@ -75,7 +102,28 @@ impl Device {
             profile,
             server: Resource::new(profile.bandwidth, profile.latency),
             stats: DeviceStats::default(),
+            faults: Vec::new(),
         }
+    }
+
+    /// Installs the transient fault windows for this run. An empty list
+    /// (the default) leaves every operation on the exact fault-free
+    /// arithmetic path.
+    pub fn set_faults(&mut self, faults: Vec<FaultWindow>) {
+        self.faults = faults;
+    }
+
+    /// Returns when the last fault window covering `now` for this
+    /// operation kind closes, or `None` if the device is healthy.
+    fn faulted(&self, now: Time, write: bool) -> Option<Time> {
+        let mut until: Option<Time> = None;
+        for w in &self.faults {
+            let hits = if write { w.writes } else { w.reads };
+            if hits && w.from <= now && now < w.until {
+                until = Some(until.map_or(w.until, |u| u.max(w.until)));
+            }
+        }
+        until
     }
 
     /// The device's profile.
@@ -100,6 +148,26 @@ impl Device {
         self.stats.bytes_written += bytes;
         self.stats.writes += 1;
         self.server.serve(now, bytes)
+    }
+
+    /// Serves a read of `bytes` through the fault layer: inside a fault
+    /// window covering `now` the operation is rejected without occupying
+    /// the device; otherwise identical to [`Device::read`].
+    pub fn try_read(&mut self, now: Time, bytes: u64) -> Result<Time, DeviceError> {
+        match self.faulted(now, false) {
+            Some(until) => Err(DeviceError { until }),
+            None => Ok(self.read(now, bytes)),
+        }
+    }
+
+    /// Serves a write of `bytes` through the fault layer: inside a fault
+    /// window covering `now` the operation is rejected without occupying
+    /// the device; otherwise identical to [`Device::write`].
+    pub fn try_write(&mut self, now: Time, bytes: u64) -> Result<Time, DeviceError> {
+        match self.faulted(now, true) {
+            Some(until) => Err(DeviceError { until }),
+            None => Ok(self.write(now, bytes)),
+        }
     }
 
     /// Records a read absorbed by the page cache: no device occupancy, just
@@ -152,6 +220,46 @@ mod tests {
         assert_eq!(d.device_bytes(), 200 * MIB);
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn fault_windows_reject_selected_kinds() {
+        let mut d = Device::new(DeviceProfile::ssd());
+        d.set_faults(vec![FaultWindow {
+            from: 1000,
+            until: 5000,
+            reads: true,
+            writes: false,
+        }]);
+        // Before the window: healthy.
+        assert!(d.try_read(999, 64).is_ok());
+        // Inside: reads fault with the window's close time, writes pass.
+        assert_eq!(d.try_read(1000, 64), Err(DeviceError { until: 5000 }));
+        assert!(d.try_write(1000, 64).is_ok());
+        // The exclusive end is healthy again.
+        assert!(d.try_read(5000, 64).is_ok());
+        // Failed attempts never occupy the device or count bytes.
+        assert_eq!(d.stats().reads, 2);
+    }
+
+    #[test]
+    fn overlapping_fault_windows_report_last_close() {
+        let mut d = Device::new(DeviceProfile::ssd());
+        d.set_faults(vec![
+            FaultWindow {
+                from: 0,
+                until: 3000,
+                reads: true,
+                writes: true,
+            },
+            FaultWindow {
+                from: 1000,
+                until: 8000,
+                reads: true,
+                writes: true,
+            },
+        ]);
+        assert_eq!(d.try_write(2000, 64), Err(DeviceError { until: 8000 }));
     }
 
     #[test]

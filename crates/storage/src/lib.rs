@@ -23,6 +23,6 @@ pub mod vertex;
 
 pub use cache::PageCache;
 pub use chunk::{BlockIndex, ChunkIndex, ChunkSet, ChunkSetStats, ServeOutcome, ServedChunk};
-pub use device::{Device, DeviceProfile};
+pub use device::{Device, DeviceError, DeviceProfile, FaultWindow};
 pub use file::{FileBacking, ScratchDir};
 pub use vertex::VertexArray;

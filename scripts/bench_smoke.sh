@@ -9,26 +9,31 @@
 # the states digest. Wall-clock timings plus the hot-path metrics (record
 # throughput, chunk- and block-level skip counts, and the event-loop
 # dispatch account parsed from the sequential run's stderr) land in
-# BENCH_pr7.json, including the same-window A/B of block-indexed serves
+# BENCH_pr8.json, including the same-window A/B of block-indexed serves
 # vs --block-records 0.
+#
+# A fig13 pass then measures checkpoint overhead (two-phase vertex
+# snapshots at every gather barrier, HDD cluster): each algorithm's
+# simulated checkpoint-on/checkpoint-off runtime ratio must stay under
+# 15% — the recovery machinery may not tax fault-free runs.
 #
 # The first run doubles as a warm-up for the on-disk RMAT cache
 # (target/rmat-cache), so the timed sequential run measures the engine,
 # not the graph generator. BENCH_NO_CACHE=1 disables the cache for every
 # run.
 #
-# When a BENCH_pr6.json baseline is present (repo root), the run fails if
+# When a BENCH_pr7.json baseline is present (repo root), the run fails if
 # sequential wall time regressed more than 10% against it — the perf gate
-# for the sub-chunk selective-serving layer.
+# guarding the fault-injection subsystem's empty-plan fast paths.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT_JSON="${1:-BENCH_pr7.json}"
+OUT_JSON="${1:-BENCH_pr8.json}"
 EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
 PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr6.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr7.json}"
 CACHE_FLAG=()
 if [ "${BENCH_NO_CACHE:-0}" = "1" ]; then
     CACHE_FLAG=(--no-cache)
@@ -45,8 +50,9 @@ FLAT_OUT=$(mktemp)
 NOBLOCK_OUT=$(mktemp)
 HEAP_OUT=$(mktemp)
 NOBATCH_OUT=$(mktemp)
+CKPT_OUT=$(mktemp)
 ERR_LOG=$(mktemp)
-trap 'rm -f "$SEQ_OUT" "$SEQ_ERR" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$NOBLOCK_OUT" "$HEAP_OUT" "$NOBATCH_OUT" "$ERR_LOG"' EXIT
+trap 'rm -f "$SEQ_OUT" "$SEQ_ERR" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$NOBLOCK_OUT" "$HEAP_OUT" "$NOBATCH_OUT" "$CKPT_OUT" "$ERR_LOG"' EXIT
 
 # Keep stderr (panics, asserts) out of the compared output but dump it on
 # failure so CI logs show *why* a run died, not just that it did.
@@ -78,6 +84,16 @@ run_mode "$FLAT_OUT" "$ERR_LOG" --backend seq --cluster-bins 1
 t6=$(date +%s.%N)
 run_mode "$NOBLOCK_OUT" "$ERR_LOG" --backend seq --block-records 0
 t7=$(date +%s.%N)
+
+# Checkpoint-overhead measurement (fig13: per-barrier two-phase vertex
+# snapshots on the HDD cluster). Simulated, so the ratio is
+# host-independent — gate it hard at <15% per algorithm.
+if ! "$BIN" fig13 "${CACHE_FLAG[@]}" --backend seq >"$CKPT_OUT" 2>"$ERR_LOG"; then
+    echo "FAIL: fig13 exited nonzero; stderr:" >&2
+    cat "$ERR_LOG" >&2
+    exit 1
+fi
+t8=$(date +%s.%N)
 
 check_identical() {
     local other="$1" what="$2"
@@ -113,6 +129,19 @@ check_digest() {
 check_digest "$FLAT_OUT" "across clustered/unclustered layouts"
 check_digest "$NOBLOCK_OUT" "across block-indexed/chunk-granularity serves"
 
+# Overhead column of the fig13 table, e.g. "+3.2%" — take the worst
+# algorithm. The gate is on simulated time, so it holds on any host.
+CKPT_OVERHEAD=$(grep -o '[+-][0-9.]*%' "$CKPT_OUT" | tr -d '+%' | sort -g | tail -1)
+CKPT_OVERHEAD=${CKPT_OVERHEAD:-0}
+python3 - "$CKPT_OVERHEAD" <<'PY'
+import sys
+worst = float(sys.argv[1])
+limit = 15.0
+status = "OK" if worst < limit else "FAIL"
+print(f"{status}: worst checkpoint overhead {worst:+.1f}% (limit <{limit:.0f}%)")
+sys.exit(0 if worst < limit else 1)
+PY
+
 HEAP_S=$(python3 -c "print(f'{$t1 - $t0:.2f}')")
 SEQ_S=$(python3 -c "print(f'{$t2 - $t1:.2f}')")
 NOBATCH_S=$(python3 -c "print(f'{$t3 - $t2:.2f}')")
@@ -120,6 +149,7 @@ PAR_S=$(python3 -c "print(f'{$t4 - $t3:.2f}')")
 REF_S=$(python3 -c "print(f'{$t5 - $t4:.2f}')")
 FLAT_S=$(python3 -c "print(f'{$t6 - $t5:.2f}')")
 NOBLOCK_S=$(python3 -c "print(f'{$t7 - $t6:.2f}')")
+CKPT_S=$(python3 -c "print(f'{$t8 - $t7:.2f}')")
 SPEEDUP=$(python3 -c "print(f'{($t2 - $t1) / ($t4 - $t3):.3f}')")
 NCPU=$(nproc 2>/dev/null || echo 0)
 # The fig7 harness prints the records-streamed/skipped totals (simulated,
@@ -177,6 +207,8 @@ cat >"$OUT_JSON" <<EOF
   "envelopes_sent": $ENVELOPES,
   "batching_ratio": $RATIO,
   "queue_ops": $QUEUE_OPS,
+  "fig13_wall_seconds": $CKPT_S,
+  "checkpoint_overhead_worst_pct": $CKPT_OVERHEAD,
   "identical_output": true,
   "host_cpus": $NCPU,
   "recorded_utc": "$(date -u +%FT%TZ)"

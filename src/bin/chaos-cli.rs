@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use chaos::algos::{needs_undirected, needs_weights, with_algo, AlgoParams, ALGO_NAMES};
-use chaos::core::{run_chaos, Backend, ChaosConfig, Streaming};
+use chaos::core::{run_chaos, Backend, ChaosConfig, FaultPlan, FaultPlanConfig, Streaming};
 use chaos::graph::{io as graph_io, InputGraph, RmatConfig, WebGraphConfig};
 
 struct Args(Vec<String>);
@@ -54,6 +54,7 @@ USAGE:
 
 GRAPH SOURCE (one of):
   --graph <file>      load a binary or text edge list (auto-detected)
+  --dataset <file>    alias for --graph (matches the figures harness)
   --scale <N>         generate RMAT-N (default 12)
   --web-pages <N>     generate an N-page web graph
 
@@ -74,6 +75,10 @@ CLUSTER OPTIONS:
                       (default 16; 1 = unclustered arrival order;
                       results are identical for any value)
   --seed <S>          RNG seed
+  --fault-seed <S>    inject the seed-S generated fault plan (crashes +
+                      device faults + fabric stragglers; implies
+                      --checkpoint; final states stay identical)
+  --metrics-json <f>  dump the run's report as stable JSON to <f>
 
 ALGORITHMS: {}",
         ALGO_NAMES.join(", ")
@@ -82,7 +87,7 @@ ALGORITHMS: {}",
 
 fn load_or_generate(args: &Args, algo: Option<&str>) -> Result<InputGraph, String> {
     let weighted_needed = algo.map(needs_weights).unwrap_or(args.flag("--weighted"));
-    let mut g = if let Some(path) = args.value("--graph") {
+    let mut g = if let Some(path) = args.value("--graph").or_else(|| args.value("--dataset")) {
         let p = PathBuf::from(path);
         graph_io::read_binary(&p)
             .or_else(|_| graph_io::read_text(&p))
@@ -145,6 +150,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     cfg.streaming = args.parsed("--streaming", Streaming::Selective)?;
     cfg.cluster_bins = args.parsed("--cluster-bins", cfg.cluster_bins)?;
     cfg.seed = args.parsed("--seed", cfg.seed)?;
+    if let Some(seed) = args.value("--fault-seed") {
+        let seed: u64 = seed.parse().map_err(|_| "bad --fault-seed".to_string())?;
+        cfg.checkpoint = true;
+        cfg.faults = FaultPlan::generate(seed, &FaultPlanConfig::soak(machines));
+    }
     if args.flag("--hdd") {
         cfg = cfg.with_hdd();
     }
@@ -185,8 +195,32 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             report.edges_tombstoned(),
         );
     }
+    let fa = &report.faults;
+    if fa.aborts > 0 || fa.device_retries > 0 || fa.faulted_time > 0 {
+        println!(
+            "fault recovery      {:>10} aborts ({} iterations redone), {} device retries, \
+             {:.3} s lost to faults",
+            fa.aborts,
+            fa.iterations_redone,
+            fa.device_retries,
+            fa.faulted_time as f64 / 1e9,
+        );
+    }
+    if fa.checkpoint_bytes > 0 {
+        println!(
+            "checkpointing       {:>10.1} MB in {:.3} s",
+            fa.checkpoint_bytes as f64 / 1e6,
+            fa.checkpoint_time as f64 / 1e9,
+        );
+    }
     if let Some(agg) = report.iteration_aggs.last() {
         println!("final aggregates    updates={} changed={}", agg.updates_produced, agg.vertices_changed);
+    }
+    if let Some(path) = args.value("--metrics-json") {
+        let label = format!("{algo}/m{machines}");
+        let dump = chaos::bench::metrics_json(&[(label, report)]);
+        std::fs::write(path, dump).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("[metrics-json] wrote 1 run to {path}");
     }
     Ok(())
 }

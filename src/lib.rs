@@ -24,6 +24,7 @@
 //! | [`algos`] | the ten evaluation algorithms of Table 1 |
 //! | [`core`] | the Chaos engine itself |
 //! | [`baselines`] | X-Stream, Giraph-like engine, PowerGraph grid partitioner |
+//! | [`bench`] | figure/table harnesses and the stable metrics-JSON dump |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 
 pub use chaos_algos as algos;
 pub use chaos_baselines as baselines;
+pub use chaos_bench as bench;
 pub use chaos_core as core;
 pub use chaos_gas as gas;
 pub use chaos_graph as graph;
@@ -62,7 +64,8 @@ pub mod prelude {
     pub use chaos_algos::wcc::Wcc;
     pub use chaos_algos::{AlgoParams, ALGO_NAMES};
     pub use chaos_core::{
-        run_chaos, Backend, ChaosConfig, Cluster, FailureSpec, IterSelectivity, Placement,
+        run_chaos, Backend, ChaosConfig, Cluster, CrashFault, CrashTrigger, DeviceFault,
+        FabricFault, FaultAccount, FaultPlan, FaultPlanConfig, IterSelectivity, Placement,
         QueueKind, RunReport, Streaming,
     };
     pub use chaos_gas::{

@@ -117,11 +117,7 @@ fn failure_recovery_is_backend_invariant() {
     let g = undirected_graph(8);
     let mut cfg = test_config(3);
     cfg.checkpoint = true;
-    cfg.failure = Some(FailureSpec {
-        machine: 1,
-        iteration: 1,
-        downtime: chaos::sim::SECS,
-    });
+    cfg.faults = FaultPlan::crash(1, 1, chaos::sim::SECS);
     assert_equivalent(cfg, 3, Wcc::new(), &g);
 }
 

@@ -1,0 +1,96 @@
+//! Chaos-soak recovery harness: randomized multi-fault schedules.
+//!
+//! For a battery of seeds, [`FaultPlan::generate`] derives a schedule of
+//! machine crashes, device-fault windows and fabric stragglers, and the
+//! run must end with final vertex states **bit-identical** to the
+//! fault-free run of the same `(config, program, graph)` — on the
+//! sequential and parallel backends, in selective and reference streaming
+//! modes, for an aggregate-converging, a frontier and a stateful
+//! multi-phase algorithm.
+//!
+//! Recovery invariants checked on every faulted run:
+//! - any schedule with at least one crash records at least one abort and
+//!   at least one redone iteration (the generator anchors its first crash
+//!   at an early scatter barrier, which always rolls back and redoes);
+//! - abort generations strictly increase (no dead-generation events are
+//!   ever absorbed — a stale-gen ack or barrier reaching the coordinator
+//!   would corrupt the counts and break the state equality asserted here);
+//! - the faulted run converges to the same iteration count and aggregates
+//!   as the fault-free run.
+//!
+//! `CHAOS_SOAK_SEEDS` overrides the seed count (default 20).
+
+mod common;
+
+use chaos::prelude::*;
+use common::{directed_graph, test_config, undirected_graph, weighted_graph};
+
+fn soak_seeds() -> u64 {
+    std::env::var("CHAOS_SOAK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20)
+}
+
+/// Runs the full seed battery for one program over one graph, comparing
+/// every faulted run against the fault-free baseline of the same config.
+fn soak<P>(program: P, graph: &chaos::graph::InputGraph, label: &str)
+where
+    P: GasProgram,
+    P::VertexState: PartialEq + std::fmt::Debug,
+{
+    let machines = 4;
+    let shape = FaultPlanConfig::soak(machines);
+    for backend in [Backend::Sequential, Backend::Parallel { threads: 4 }] {
+        for streaming in [Streaming::Selective, Streaming::Reference] {
+            let mut base = test_config(machines);
+            base.backend = backend;
+            base.streaming = streaming;
+            base.checkpoint = true;
+            let (clean, clean_states) = run_chaos(base.clone(), program.clone(), graph);
+            assert_eq!(clean.faults.aborts, 0);
+            for seed in 0..soak_seeds() {
+                let plan = FaultPlan::generate(seed, &shape);
+                let crashes = plan.crashes.len();
+                let mut cfg = base.clone();
+                cfg.faults = plan;
+                let (rep, states) = run_chaos(cfg, program.clone(), graph);
+                let tag = format!("{label} seed {seed} {backend:?} {streaming:?}");
+                assert_eq!(clean_states, states, "{tag}: states must be bit-identical");
+                assert_eq!(
+                    clean.iteration_aggs, rep.iteration_aggs,
+                    "{tag}: per-iteration aggregates must match"
+                );
+                if crashes > 0 {
+                    assert!(rep.faults.aborts >= 1, "{tag}: crash schedule, no abort");
+                    assert!(
+                        rep.faults.iterations_redone >= 1,
+                        "{tag}: crash schedule, nothing redone"
+                    );
+                }
+                assert_eq!(rep.faults.aborts as usize, rep.faults.abort_log.len());
+                for pair in rep.faults.abort_log.windows(2) {
+                    assert!(
+                        pair[1].gen > pair[0].gen && pair[1].time >= pair[0].time,
+                        "{tag}: abort generations must strictly increase"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_soaks_clean() {
+    soak(Pagerank::new(4), &directed_graph(8), "pagerank");
+}
+
+#[test]
+fn bfs_soaks_clean() {
+    soak(Bfs::new(0), &undirected_graph(8), "bfs");
+}
+
+#[test]
+fn mcst_soaks_clean() {
+    soak(Mcst::new(), &weighted_graph(220, 260, 7), "mcst");
+}

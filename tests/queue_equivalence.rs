@@ -173,10 +173,6 @@ fn failure_recovery_is_queue_invariant() {
     let g = undirected_graph(8);
     let mut cfg = test_config(3);
     cfg.checkpoint = true;
-    cfg.failure = Some(FailureSpec {
-        machine: 1,
-        iteration: 1,
-        downtime: chaos::sim::SECS,
-    });
+    cfg.faults = FaultPlan::crash(1, 1, chaos::sim::SECS);
     assert_queue_invariant(cfg, Wcc::new(), &g);
 }

@@ -143,11 +143,7 @@ fn spill_checkpoint_failure_compose() {
     cfg.checkpoint = true;
     let (_, clean) = run_chaos(cfg.clone(), Pagerank::new(4), &g);
     cfg.spill_dir = Some(scratch.path().to_path_buf());
-    cfg.failure = Some(FailureSpec {
-        machine: 1,
-        iteration: 2,
-        downtime: 0,
-    });
+    cfg.faults = FaultPlan::crash(1, 2, 0);
     let (_, recovered) = run_chaos(cfg, Pagerank::new(4), &g);
     assert_eq!(clean, recovered);
 }

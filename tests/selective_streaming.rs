@@ -204,11 +204,7 @@ fn failure_recovery_does_not_double_count_selectivity() {
     let mut cfg = test_config(3);
     cfg.checkpoint = true;
     let (clean, states_clean) = run_chaos(cfg.clone(), Bfs::new(0), &g);
-    cfg.failure = Some(FailureSpec {
-        machine: 1,
-        iteration: 2,
-        downtime: 0,
-    });
+    cfg.faults = FaultPlan::crash(1, 2, 0);
     let (faulty, states_faulty) = run_chaos(cfg, Bfs::new(0), &g);
     assert_eq!(states_clean, states_faulty);
     assert_eq!(
