@@ -21,8 +21,13 @@
 //! Borůvka contraction eating the edge set. `--metrics-json <path>` dumps
 //! the run's report plus per-iteration selectivity as stable JSON.
 //! `--fault-seed N` turns on checkpointing and injects the seed-`N`
-//! generated fault plan (crashes + device + fabric windows); the fault
-//! account line shows what the recovery protocol absorbed.
+//! generated fault plan (crashes + torn writes + device + fabric +
+//! corruption windows); the fault account and integrity lines show what
+//! the recovery protocol absorbed. `--scrub` enables the between-
+//! iteration integrity scrub pass. The `states digest` line is a
+//! layout-, backend- and fault-invariant fingerprint of the final vertex
+//! states — `scripts/bench_smoke.sh` compares it between corruption-
+//! seeded and fault-free runs.
 
 use std::time::Instant;
 
@@ -68,6 +73,8 @@ fn main() {
             .expect("--queue needs calendar or heap");
         args.drain(i..=i + 1);
     }
+    let scrub = args.iter().any(|a| a == "--scrub");
+    args.retain(|a| a != "--scrub");
     let mut fault_seed: Option<u64> = None;
     if let Some(i) = args.iter().position(|a| a == "--fault-seed") {
         fault_seed = Some(
@@ -124,9 +131,13 @@ fn main() {
         cfg.checkpoint = true;
         cfg.faults = FaultPlan::generate(seed, &FaultPlanConfig::soak(machines));
     }
+    cfg.scrub = scrub;
     let t0 = Instant::now();
     let params = AlgoParams::default();
-    let rep = with_algo!(algo.as_str(), &params, |p| run_chaos(cfg, p, &g).0);
+    let (rep, digest) = with_algo!(algo.as_str(), &params, |p| {
+        let (rep, states) = run_chaos(cfg, p, &g);
+        (rep, chaos_bench::harness::digest_states(&states))
+    });
     let wall = t0.elapsed().as_secs_f64();
     // `cluster_bins` is the run's *effective* layout — dense-activity
     // programs keep the single-bin arrival order whatever was requested.
@@ -162,6 +173,15 @@ fn main() {
         fa.checkpoint_bytes,
         fa.checkpoint_time as f64 / 1e9,
     );
+    println!(
+        "integrity: {} corruptions detected, {} repaired, {} frames scrubbed, \
+         {} checksum bytes",
+        fa.corruption_detected,
+        fa.corruption_repaired,
+        fa.frames_scrubbed,
+        fa.checksum_bytes,
+    );
+    println!("states digest: {digest:016x}");
     let streamed_plus_skipped = rep.records_streamed + rep.records_skipped();
     let skipped_empty = rep.records_skipped() - rep.records_skipped_mid();
     println!(

@@ -70,6 +70,14 @@ fn dispatch_stats(h: &Harness) {
         fa.checkpoint_bytes,
         fa.checkpoint_time,
     );
+    eprintln!(
+        "integrity:      corruption-detected={} repaired={} frames-scrubbed={} \
+         checksum-bytes={}",
+        fa.corruption_detected,
+        fa.corruption_repaired,
+        fa.frames_scrubbed,
+        fa.checksum_bytes,
+    );
 }
 
 fn main() -> ExitCode {

@@ -460,6 +460,10 @@ impl Harness {
             fa.faulted_time += rep.faults.faulted_time;
             fa.checkpoint_bytes += rep.faults.checkpoint_bytes;
             fa.checkpoint_time += rep.faults.checkpoint_time;
+            fa.corruption_detected += rep.faults.corruption_detected;
+            fa.corruption_repaired += rep.faults.corruption_repaired;
+            fa.frames_scrubbed += rep.faults.frames_scrubbed;
+            fa.checksum_bytes += rep.faults.checksum_bytes;
         }
         // Order-sensitive mix of the per-run digests (runs are driven in a
         // fixed order per experiment).
@@ -592,6 +596,10 @@ pub fn metrics_json(reports: &[(String, RunReport)]) -> String {
             ("faulted_time_ns", rep.faults.faulted_time),
             ("checkpoint_bytes", rep.faults.checkpoint_bytes),
             ("checkpoint_time_ns", rep.faults.checkpoint_time),
+            ("corruption_detected", rep.faults.corruption_detected),
+            ("corruption_repaired", rep.faults.corruption_repaired),
+            ("frames_scrubbed", rep.faults.frames_scrubbed),
+            ("checksum_bytes", rep.faults.checksum_bytes),
         ] {
             out.push_str(&format!("      \"{k}\": {v},\n"));
         }

@@ -22,8 +22,8 @@ use chaos_gas::GasProgram;
 use chaos_graph::{InputGraph, PartitionSpec, SizeModel};
 use chaos_net::{DegradedWindow, Fabric};
 use chaos_runtime::{DynActor, Executor};
-use chaos_sim::{Rng, Time};
-use chaos_storage::{Device, FaultWindow};
+use chaos_sim::{rng::mix64, Rng, Time};
+use chaos_storage::{CorruptionWindow, Device, FaultWindow};
 
 use crate::compute_engine::ComputeEngine;
 use crate::config::{Backend, ChaosConfig, Placement};
@@ -126,6 +126,22 @@ impl<P: GasProgram> Cluster<P> {
                             until: f.until,
                             reads: f.reads,
                             writes: f.writes,
+                        })
+                        .collect(),
+                );
+                // Silent-corruption windows: the per-machine salt folds the
+                // machine index into the plan's salt, so two machines
+                // sharing a window draw independent corruption verdicts.
+                device.set_corruption(
+                    cfg.faults
+                        .corruption
+                        .iter()
+                        .filter(|f| f.machine == i)
+                        .map(|f| CorruptionWindow {
+                            from: f.from,
+                            until: f.until,
+                            salt: f.salt ^ mix64(i as u64),
+                            one_in: f.one_in,
                         })
                         .collect(),
                 );
@@ -263,6 +279,10 @@ impl<P: GasProgram> Cluster<P> {
                 + self.fabric.stats().degraded_time,
             checkpoint_bytes: self.storages.iter().map(|s| s.checkpoint_bytes).sum(),
             checkpoint_time: self.storages.iter().map(|s| s.checkpoint_time).sum(),
+            corruption_detected: self.storages.iter().map(|s| s.corruption_detected).sum(),
+            corruption_repaired: self.storages.iter().map(|s| s.corruption_repaired).sum(),
+            frames_scrubbed: self.storages.iter().map(|s| s.frames_scrubbed).sum(),
+            checksum_bytes: self.storages.iter().map(|s| s.checksum_bytes).sum(),
             abort_log: self.coordinator.abort_log.clone(),
         };
         RunReport {
@@ -302,6 +322,19 @@ impl<P: GasProgram> Cluster<P> {
     /// Collects the last committed checkpoint, in vertex-id order.
     pub fn checkpoint_states(&self) -> Vec<P::VertexState> {
         self.collect(|s, part, no| s.checkpoint_chunk(part, no))
+    }
+
+    /// Test hook: marks `machine`'s next pending checkpoint snapshot torn,
+    /// so the coordinator's validation round refuses to promote it and the
+    /// whole snapshot is dropped cluster-wide.
+    pub fn inject_pending_tear(&mut self, machine: usize) {
+        self.storages[machine].pending_torn = true;
+    }
+
+    /// Pending snapshots dropped by failed validation rounds, summed over
+    /// all storage engines.
+    pub fn snapshots_dropped(&self) -> u64 {
+        self.storages.iter().map(|s| s.snapshots_dropped).sum()
     }
 
     fn collect(

@@ -293,6 +293,12 @@ pub struct ComputeEngine<P: GasProgram> {
     /// min-edge/reduce/contract machine) and is exactly-once per
     /// iteration.
     replayed_iters: u32,
+    /// Program states captured before each replayed `end_iteration`,
+    /// labeled by the `replayed_iters` value they were taken at. The
+    /// depth-2 checkpoint fallback rewinds one completed iteration, which
+    /// un-does an `end_iteration` this engine already replayed; two levels
+    /// kept, matching the storage engines' checkpoint chain.
+    prog_snaps: Vec<(u32, P)>,
     getaccums_wait_since: Time,
     /// Per-machine Figure 17 breakdown.
     pub breakdown: Breakdown,
@@ -372,6 +378,7 @@ impl<P: GasProgram> ComputeEngine<P> {
             barrier_sent: false,
             arrive_time: 0,
             replayed_iters: 0,
+            prog_snaps: Vec::new(),
             getaccums_wait_since: 0,
             breakdown: Breakdown::default(),
             steals: 0,
@@ -1834,7 +1841,16 @@ impl<P: GasProgram> ComputeEngine<P> {
                     // end-of-iteration decision (deterministic). Guarded so
                     // a redo release after an abort does not replay a
                     // transition this engine already made — end_iteration
-                    // is exactly-once per completed iteration.
+                    // is exactly-once per completed iteration. The state
+                    // about to be mutated is snapshotted first: a depth-2
+                    // checkpoint fallback rewinds exactly one replayed
+                    // transition.
+                    self.prog_snaps.retain(|(i, _)| *i != self.replayed_iters);
+                    self.prog_snaps
+                        .push((self.replayed_iters, self.program.clone()));
+                    if self.prog_snaps.len() > 2 {
+                        self.prog_snaps.remove(0);
+                    }
                     let _ = self.program.end_iteration(iter - 1, &agg);
                     self.replayed_iters = iter;
                 }
@@ -1849,9 +1865,19 @@ impl<P: GasProgram> ComputeEngine<P> {
     // Failure recovery
     // ------------------------------------------------------------------
 
-    fn on_abort(&mut self, ctx: &mut Ctx<P>, gen: u32, iter: u32) {
+    fn on_abort(&mut self, ctx: &mut Ctx<P>, gen: u32, iter: u32, rewind: bool) {
         self.gen = gen;
         ctx.gen = gen;
+        if rewind {
+            // Depth-2 checkpoint fallback: iteration `iter` reruns, so the
+            // end_iteration transition this engine replayed on entering
+            // `iter + 1` must be un-done — restore the program state
+            // captured just before that replay.
+            if let Some((_, p)) = self.prog_snaps.iter().find(|(i, _)| *i == iter) {
+                self.program = p.clone();
+            }
+            self.replayed_iters = iter;
+        }
         self.work = None;
         // Partial update output of the aborted phase dies with it (the
         // buffers used to live on the PartWork; now they are pooled on the
@@ -1880,7 +1906,12 @@ impl<P: GasProgram> ComputeEngine<P> {
         // (`iter` is the resume iteration, so a crash that advances past a
         // completed iteration keeps that iteration's row.)
         self.selectivity.truncate(iter as usize);
-        ctx.send(self.machine, Addr::Coordinator, Msg::AbortAck, CONTROL_BYTES);
+        ctx.send(
+            self.machine,
+            Addr::Coordinator,
+            Msg::AbortAck { fallback: false },
+            CONTROL_BYTES,
+        );
     }
 
 }
@@ -2025,7 +2056,9 @@ impl<P: GasProgram> Actor for ComputeEngine<P> {
                 gen,
                 iter,
                 commit: _,
-            } => self.on_abort(ctx, gen, iter),
+                torn: _,
+                rewind,
+            } => self.on_abort(ctx, gen, iter, rewind),
             Msg::DirWriteResp {
                 part,
                 kind,

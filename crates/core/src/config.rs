@@ -216,6 +216,13 @@ pub struct ChaosConfig {
     /// are identical for any value, and runs that cannot skip (dense
     /// activity, centralized placement, dense streaming) ignore it.
     pub block_records: u32,
+    /// Between-iterations integrity scrub: at every epoch reset each
+    /// storage engine re-reads and re-verifies every frame it holds (edge,
+    /// reverse-edge and update chunks, live vertex chunks, and both levels
+    /// of the checkpoint chain) through the detect–repair ladder. Off by
+    /// default; scrub I/O is charged to the device, so it shows up as
+    /// iteration-boundary latency and in the `frames_scrubbed` account.
+    pub scrub: bool,
     /// RNG seed; a run is a pure function of (config, program, graph).
     pub seed: u64,
 }
@@ -253,6 +260,7 @@ impl ChaosConfig {
             compact_threshold: 0.5,
             cluster_bins: 16,
             block_records: 512,
+            scrub: false,
             seed: 0xC4A05,
         }
     }
@@ -274,6 +282,12 @@ impl ChaosConfig {
     /// `checkpoint`); richer schedules go through [`FaultPlan`] directly.
     pub fn with_crash(mut self, machine: usize, iteration: u32, downtime: Time) -> Self {
         self.faults = FaultPlan::crash(machine, iteration, downtime);
+        self
+    }
+
+    /// Enables or disables the between-iterations integrity scrub.
+    pub fn with_scrub(mut self, scrub: bool) -> Self {
+        self.scrub = scrub;
         self
     }
 

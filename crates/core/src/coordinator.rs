@@ -86,7 +86,25 @@ pub struct Coordinator<P: GasProgram> {
     crashes: Vec<Option<CrashFault>>,
     checkpoint: bool,
     commit_pending: usize,
+    /// Outstanding `CheckpointValidateAck`s of the validation round that
+    /// runs between the copy phase and the promote broadcast.
+    validate_pending: usize,
+    /// Whether every machine's pending snapshot passed its frame checks.
+    validate_ok: bool,
     abort_acks: usize,
+    /// Machine whose checkpoint write the current recovery episode's crash
+    /// tore (carried in every round-1 abort of the episode, so overlapping
+    /// crashes re-trigger the same probe).
+    torn_machine: Option<usize>,
+    /// A storage engine reported its committed snapshot torn during
+    /// restore: once the current abort round quiesces, fall back one level
+    /// down the checkpoint chain.
+    need_depth2: bool,
+    /// Program states captured before each `end_iteration`, labeled by
+    /// iteration; the depth-2 fallback re-runs a completed iteration, so
+    /// its end-decision must replay from the same state. Two levels kept,
+    /// matching the checkpoint chain.
+    prog_snaps: Vec<(u32, P)>,
     reboot_pending: bool,
     reboot_at: Time,
     resume: Resume,
@@ -126,7 +144,12 @@ impl<P: GasProgram> Coordinator<P> {
             crashes: crashes.into_iter().map(Some).collect(),
             checkpoint,
             commit_pending: 0,
+            validate_pending: 0,
+            validate_ok: true,
             abort_acks: 0,
+            torn_machine: None,
+            need_depth2: false,
+            prog_snaps: Vec::new(),
             reboot_pending: false,
             reboot_at: 0,
             resume: Resume::Redo { iter: 0 },
@@ -188,6 +211,11 @@ impl<P: GasProgram> Coordinator<P> {
         let iter = self.iter;
         let agg = std::mem::take(&mut self.agg);
         self.history.push(agg);
+        self.prog_snaps.retain(|(i, _)| *i != iter);
+        self.prog_snaps.push((iter, self.program.clone()));
+        if self.prog_snaps.len() > 2 {
+            self.prog_snaps.remove(0);
+        }
         self.program.end_iteration(iter, &agg) == Control::Done
     }
 
@@ -209,17 +237,17 @@ impl<P: GasProgram> Coordinator<P> {
         }
     }
 
-    /// Broadcasts phase two of the checkpoint: every storage engine
-    /// promotes its pending snapshot and acks back here.
+    /// Starts phase two of the checkpoint with a validation round: every
+    /// storage engine re-verifies its pending snapshot's frames and acks
+    /// back here; only if every machine validates does the subsequent
+    /// commit broadcast promote (otherwise the snapshot is dropped
+    /// cluster-wide and the committed chain stands).
     fn start_commit(&mut self, ctx: &mut Ctx<P>) {
         self.commit_pending = self.machines;
+        self.validate_pending = self.machines;
+        self.validate_ok = true;
         for s in 0..self.machines {
-            ctx.send(
-                0,
-                Addr::Storage(s),
-                Msg::CheckpointCommit { from: usize::MAX },
-                CONTROL_BYTES,
-            );
+            ctx.send(0, Addr::Storage(s), Msg::CheckpointValidate, CONTROL_BYTES);
         }
     }
 
@@ -421,7 +449,17 @@ impl<P: GasProgram> Coordinator<P> {
             } else {
                 Resume::Redo { iter: self.iter }
             };
+            // A torn checkpoint write only matters when recovery actually
+            // restores from the committed snapshot (a redo) and there is a
+            // previous committed snapshot to fall back to (iter >= 1).
+            self.torn_machine = match self.resume {
+                Resume::Redo { iter } if crash.torn && self.checkpoint && iter >= 1 => {
+                    Some(crash.machine)
+                }
+                _ => None,
+            };
         }
+        self.validate_pending = 0;
         self.epoch_acks = 0;
         self.agg = IterationAggregates::default();
         let (resume_iter, redo) = match self.resume {
@@ -444,6 +482,8 @@ impl<P: GasProgram> Coordinator<P> {
                     gen: self.gen,
                     iter: resume_iter,
                     commit,
+                    torn: None,
+                    rewind: false,
                 },
                 CONTROL_BYTES,
             );
@@ -454,6 +494,8 @@ impl<P: GasProgram> Coordinator<P> {
                     gen: self.gen,
                     iter: resume_iter,
                     commit,
+                    torn: self.torn_machine,
+                    rewind: false,
                 },
                 CONTROL_BYTES,
             );
@@ -468,6 +510,61 @@ impl<P: GasProgram> Coordinator<P> {
         };
         self.reboot_pending = true;
         ctx.at(self.reboot_at, Addr::Coordinator, Msg::RebootDone);
+        self.rearm_timers(ctx);
+    }
+
+    /// The round-1 restore found a torn committed snapshot: fall back one
+    /// level down the checkpoint chain. A second abort round (with
+    /// `rewind`) makes every storage engine shift `committed ← prev` and
+    /// restore from the older snapshot, and every engine — including the
+    /// coordinator itself — rewinds its program state to redo the extra
+    /// iteration this costs.
+    fn start_fallback_abort(&mut self, ctx: &mut Ctx<P>) {
+        self.need_depth2 = false;
+        self.torn_machine = None;
+        let target = match self.resume {
+            Resume::Redo { iter } => iter - 1,
+            Resume::Advance { .. } => unreachable!("fallback only follows a redo"),
+        };
+        self.gen += 1;
+        ctx.gen = self.gen;
+        self.aborts += 1;
+        // The iteration whose redo the torn snapshot was meant to seed is
+        // rolled back one further: both it and the fallback target rerun.
+        self.iterations_redone += 1;
+        self.history.pop();
+        if let Some((_, p)) = self.prog_snaps.iter().find(|(i, _)| *i == target) {
+            self.program = p.clone();
+        }
+        self.resume = Resume::Redo { iter: target };
+        self.abort_log.push(AbortRecord {
+            time: ctx.now,
+            gen: self.gen,
+            resume_iter: target,
+            redo: true,
+        });
+        self.abort_acks = 2 * self.machines;
+        for i in 0..self.machines {
+            for addr in [Addr::Compute(i), Addr::Storage(i)] {
+                ctx.send(
+                    0,
+                    addr,
+                    Msg::Abort {
+                        gen: self.gen,
+                        iter: target,
+                        commit: false,
+                        torn: None,
+                        rewind: true,
+                    },
+                    CONTROL_BYTES,
+                );
+            }
+        }
+        // The generation bump invalidated the pending reboot self-event
+        // along with everything else; re-arm it under the new generation.
+        if self.reboot_pending {
+            ctx.at(self.reboot_at, Addr::Coordinator, Msg::RebootDone);
+        }
         self.rearm_timers(ctx);
     }
 
@@ -518,16 +615,39 @@ impl<P: GasProgram> Actor for Coordinator<P> {
                     self.release(ctx, PhaseKind::Scatter, self.iter + 1, false);
                 }
             }
+            Msg::CheckpointValidateAck { ok } => {
+                self.validate_ok &= ok;
+                self.validate_pending -= 1;
+                if self.validate_pending == 0 {
+                    let promote = self.validate_ok;
+                    for s in 0..self.machines {
+                        ctx.send(
+                            0,
+                            Addr::Storage(s),
+                            Msg::CheckpointCommit {
+                                from: usize::MAX,
+                                promote,
+                            },
+                            CONTROL_BYTES,
+                        );
+                    }
+                }
+            }
             Msg::CheckpointCommitAck => {
                 self.commit_pending -= 1;
                 if self.commit_pending == 0 {
                     self.finish_commit(ctx);
                 }
             }
-            Msg::AbortAck => {
+            Msg::AbortAck { fallback } => {
+                self.need_depth2 |= fallback;
                 self.abort_acks -= 1;
-                if self.abort_acks == 0 && !self.reboot_pending {
-                    self.finish_recovery(ctx);
+                if self.abort_acks == 0 {
+                    if self.need_depth2 {
+                        self.start_fallback_abort(ctx);
+                    } else if !self.reboot_pending {
+                        self.finish_recovery(ctx);
+                    }
                 }
             }
             Msg::RebootDone => {

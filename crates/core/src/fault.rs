@@ -59,6 +59,14 @@ pub struct CrashFault {
     /// Reboot time before the machine rejoins. Overlapping crashes compose
     /// by `max`: the cluster resumes when the last reboot completes.
     pub downtime: Time,
+    /// Whether a checkpoint write in flight on this machine when the crash
+    /// fires persists only a prefix (a *torn write*). The tear is silent:
+    /// it surfaces later when the frame check of the torn chunk fails
+    /// during rollback, forcing the cluster to fall back one snapshot down
+    /// the depth-2 committed-checkpoint chain. Only takes effect when the
+    /// crash actually rolls an iteration back (checkpointing on, a prior
+    /// committed snapshot exists).
+    pub torn: bool,
 }
 
 /// A transient storage-device fault window: operations of the selected
@@ -75,6 +83,29 @@ pub struct DeviceFault {
     pub reads: bool,
     /// Whether writes fail inside the window.
     pub writes: bool,
+}
+
+/// A silent-corruption window: framed reads on `machine` while
+/// `from <= now < until` may fail their checksum check. Whether a given
+/// read is corrupted is a pure function of `(salt, simulated time, read
+/// key)` — see `chaos_storage::CorruptionWindow` — so faulted runs stay
+/// bit-identical across executor backends. Corruption never alters stored
+/// data, only what a read returns: re-reads draw fresh verdicts, repairs
+/// restore from the committed checkpoint copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionFault {
+    /// Machine whose device corrupts reads.
+    pub machine: usize,
+    /// Window start (simulated time, inclusive).
+    pub from: Time,
+    /// Window end (exclusive).
+    pub until: Time,
+    /// Seed-derived salt for the corruption hash (the machine index is
+    /// mixed in at install time).
+    pub salt: u64,
+    /// Roughly one in `one_in` framed reads inside the window is corrupted
+    /// (1 = every read).
+    pub one_in: u64,
 }
 
 /// A fabric degradation window: every remote message sent to or from
@@ -104,6 +135,8 @@ pub struct FaultPlanConfig {
     pub device_faults: usize,
     /// Number of fabric degradation windows.
     pub fabric_faults: usize,
+    /// Number of silent-corruption windows.
+    pub corruption_faults: usize,
     /// Iteration triggers are drawn from `[0, max_iteration]`.
     pub max_iteration: u32,
     /// Time triggers and fault windows are drawn from `[0, horizon)`.
@@ -121,6 +154,7 @@ impl FaultPlanConfig {
             crashes: 2,
             device_faults: 2,
             fabric_faults: 1,
+            corruption_faults: 1,
             max_iteration: 4,
             horizon: 2 * SECS,
             max_downtime: SECS / 10,
@@ -137,6 +171,8 @@ pub struct FaultPlan {
     pub device: Vec<DeviceFault>,
     /// Fabric degradation windows.
     pub fabric: Vec<FabricFault>,
+    /// Silent-corruption windows.
+    pub corruption: Vec<CorruptionFault>,
 }
 
 impl FaultPlan {
@@ -147,7 +183,10 @@ impl FaultPlan {
 
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.device.is_empty() && self.fabric.is_empty()
+        self.crashes.is_empty()
+            && self.device.is_empty()
+            && self.fabric.is_empty()
+            && self.corruption.is_empty()
     }
 
     /// A single scripted crash at a scatter barrier — the shape the old
@@ -161,6 +200,7 @@ impl FaultPlan {
                     phase: PhaseKind::Scatter,
                 },
                 downtime,
+                torn: false,
             }],
             ..Self::default()
         }
@@ -184,6 +224,12 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a silent-corruption window.
+    pub fn with_corruption_fault(mut self, fault: CorruptionFault) -> Self {
+        self.corruption.push(fault);
+        self
+    }
+
     /// Derives a randomized-but-reproducible schedule from a seed.
     ///
     /// Whenever `cfg.crashes >= 1`, the first crash is an early
@@ -191,7 +237,10 @@ impl FaultPlan {
     /// at least one abort *and* at least one redone iteration (a fresh
     /// recovery episode entered from a scatter arrival always rolls back
     /// and redoes — see the coordinator's resume rules). Later crashes mix
-    /// barrier, commit and absolute-time triggers.
+    /// barrier, commit and absolute-time triggers. Half the schedules mark
+    /// the anchor crash as a torn checkpoint write, exercising the depth-2
+    /// committed-checkpoint fallback; corruption windows are drawn early
+    /// and wide so they overlap the read-heavy start of a run.
     ///
     /// # Panics
     ///
@@ -208,6 +257,9 @@ impl FaultPlan {
             } else {
                 rng.below(cfg.max_downtime + 1)
             };
+            // Only the anchor crash tears: it is the one guaranteed to roll
+            // an iteration back, which is what makes the tear observable.
+            let torn = i == 0 && cfg.corruption_faults > 0 && rng.below(2) == 0;
             let trigger = if i == 0 {
                 // Guaranteed-redo anchor: an early scatter-barrier crash.
                 CrashTrigger::Iteration {
@@ -234,6 +286,7 @@ impl FaultPlan {
                 machine,
                 trigger,
                 downtime,
+                torn,
             });
         }
         for _ in 0..cfg.device_faults {
@@ -258,6 +311,19 @@ impl FaultPlan {
                 extra: rng.range(10 * MICROS, 500 * MICROS),
             });
         }
+        for _ in 0..cfg.corruption_faults {
+            // Early and wide: the window must overlap actual read traffic
+            // (preprocessing and the first iterations) to be exercised.
+            let from = rng.below((cfg.horizon / 8).max(1));
+            let width = rng.range(100_000 * MICROS, 500_000 * MICROS);
+            plan.corruption.push(CorruptionFault {
+                machine: rng.below(m) as usize,
+                from,
+                until: from + width,
+                salt: rng.next_u64(),
+                one_in: 1 + rng.below(4),
+            });
+        }
         plan
     }
 
@@ -267,6 +333,9 @@ impl FaultPlan {
     ///
     /// Returns a human-readable description of the first problem found.
     pub fn validate(&self, machines: usize, checkpoint: bool) -> Result<(), String> {
+        if self.crashes.iter().any(|c| c.torn) && !checkpoint {
+            return Err("torn-write injection requires checkpointing".into());
+        }
         if !self.crashes.is_empty() && !checkpoint {
             return Err("failure injection requires checkpointing".into());
         }
@@ -296,6 +365,17 @@ impl FaultPlan {
                 return Err("fabric fault window is empty".into());
             }
         }
+        for c in &self.corruption {
+            if c.machine >= machines {
+                return Err("corruption-fault machine out of range".into());
+            }
+            if c.until <= c.from {
+                return Err("corruption fault window is empty".into());
+            }
+            if c.one_in == 0 {
+                return Err("corruption rate one_in must be positive".into());
+            }
+        }
         Ok(())
     }
 }
@@ -314,6 +394,27 @@ mod tests {
         assert_eq!(a.crashes.len(), 2);
         assert_eq!(a.device.len(), 2);
         assert_eq!(a.fabric.len(), 1);
+        assert_eq!(a.corruption.len(), 1);
+    }
+
+    #[test]
+    fn generate_draws_torn_and_corruption_schedules() {
+        let cfg = FaultPlanConfig::soak(4);
+        let mut torn = 0;
+        for seed in 0..20 {
+            let plan = FaultPlan::generate(seed, &cfg);
+            assert_eq!(plan.corruption.len(), 1);
+            let c = plan.corruption[0];
+            assert!(c.until > c.from);
+            assert!(c.one_in >= 1);
+            assert!(c.machine < 4);
+            torn += usize::from(plan.crashes[0].torn);
+            assert!(plan.crashes[1..].iter().all(|c| !c.torn));
+        }
+        // Roughly half the seeds tear the anchor crash's checkpoint write;
+        // the 20-seed soak matrix must contain at least one either way.
+        assert!(torn >= 1, "no torn-write schedule in 20 seeds");
+        assert!(torn < 20, "every schedule torn");
     }
 
     #[test]
@@ -353,5 +454,33 @@ mod tests {
         });
         assert!(p.validate(2, false).is_err());
         assert!(FaultPlan::none().validate(1, false).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_corruption_and_torn_plans() {
+        let window = |machine, from, until, one_in| CorruptionFault {
+            machine,
+            from,
+            until,
+            salt: 7,
+            one_in,
+        };
+        // Machine out of range, empty window, zero rate.
+        let p = FaultPlan::none().with_corruption_fault(window(2, 0, 10, 1));
+        assert!(p.validate(2, false).is_err());
+        let p = FaultPlan::none().with_corruption_fault(window(0, 10, 10, 1));
+        assert!(p.validate(2, false).is_err());
+        let p = FaultPlan::none().with_corruption_fault(window(0, 0, 10, 0));
+        assert!(p.validate(2, false).is_err());
+        // Corruption alone needs no checkpointing (repair degrades to
+        // waiting out the window)...
+        let p = FaultPlan::none().with_corruption_fault(window(0, 0, 10, 1));
+        assert!(p.validate(2, false).is_ok());
+        // ...but torn checkpoint writes do, with a tear-specific error.
+        let mut torn = FaultPlan::crash(0, 1, 0);
+        torn.crashes[0].torn = true;
+        let err = torn.validate(2, false).unwrap_err();
+        assert!(err.contains("torn-write"), "got {err:?}");
+        assert!(torn.validate(2, true).is_ok());
     }
 }

@@ -68,6 +68,9 @@ pub use chaos_runtime::{
 pub use cluster::{run_chaos, Cluster};
 pub use chaos_sim::QueueKind;
 pub use config::{Backend, ChaosConfig, Placement, Streaming};
-pub use fault::{CrashFault, CrashTrigger, DeviceFault, FabricFault, FaultPlan, FaultPlanConfig};
+pub use fault::{
+    CorruptionFault, CrashFault, CrashTrigger, DeviceFault, FabricFault, FaultPlan,
+    FaultPlanConfig,
+};
 pub use metrics::{Breakdown, FaultAccount, IterSelectivity, RunReport, WindowHistogram};
 pub use runtime::{Addr, ChaosActor, ClusterExecutor, ClusterScheduler, ClusterTopology, RunParams};

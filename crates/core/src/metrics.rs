@@ -233,6 +233,19 @@ pub struct FaultAccount {
     pub checkpoint_bytes: u64,
     /// Device time spent writing checkpoints.
     pub checkpoint_time: Time,
+    /// Framed reads whose checksum check failed (each ladder attempt that
+    /// saw corruption counts once), summed over storage engines.
+    pub corruption_detected: u64,
+    /// Corruption episodes resolved — re-read clean after waiting a window
+    /// out, extent rewritten from its verified source, or a torn committed
+    /// checkpoint replaced via the depth-2 chain fallback.
+    pub corruption_repaired: u64,
+    /// Frames walked and re-verified by between-iterations scrub passes
+    /// (0 unless [`crate::config::ChaosConfig::scrub`] is on).
+    pub frames_scrubbed: u64,
+    /// Checksum-frame bytes charged to devices on framed transfers — the
+    /// direct integrity overhead of end-to-end checksumming.
+    pub checksum_bytes: u64,
     /// One entry per abort broadcast, in order.
     pub abort_log: Vec<AbortRecord>,
 }

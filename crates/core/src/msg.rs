@@ -261,10 +261,24 @@ pub enum Msg<P: GasProgram> {
         /// Writing machine.
         from: usize,
     },
-    /// Phase two: atomically promote the pending checkpoint.
+    /// Coordinator-side validation round between copy and promote: every
+    /// storage engine re-reads the frames of its pending checkpoint chunks
+    /// and reports whether the snapshot verifies. Promotion only happens
+    /// after a unanimous OK — a snapshot that fails its frame checks is
+    /// dropped instead of poisoning the committed chain.
+    CheckpointValidate,
+    /// Reply to [`Msg::CheckpointValidate`].
+    CheckpointValidateAck {
+        /// Whether every pending frame verified on this engine.
+        ok: bool,
+    },
+    /// Phase two: atomically promote the pending checkpoint (shifting the
+    /// depth-2 committed chain), or discard it when validation failed.
     CheckpointCommit {
         /// Committing machine.
         from: usize,
+        /// Promote (`true`) or discard the pending snapshot (`false`).
+        promote: bool,
     },
     /// Ack for [`Msg::CheckpointCommit`].
     CheckpointCommitAck,
@@ -354,9 +368,24 @@ pub enum Msg<P: GasProgram> {
         /// copy phase had fully completed on every machine, so the pending
         /// snapshot is the consistent one (crash-during-commit recovery).
         commit: bool,
+        /// Machine whose in-flight checkpoint write the crash tore, if any:
+        /// that storage engine's committed copy holds a torn chunk whose
+        /// frame check will fail during restore, forcing the depth-2
+        /// fallback round.
+        torn: Option<usize>,
+        /// Second (fallback) round of the episode: the committed snapshot
+        /// proved corrupt, so every engine shifts one snapshot down the
+        /// committed chain and the compute engines rewind their program
+        /// state to the matching iteration.
+        rewind: bool,
     },
-    /// Storage finished restoring from checkpoint.
-    AbortAck,
+    /// Storage finished restoring from checkpoint (or, with `fallback`,
+    /// discovered its committed snapshot is corrupt and needs the
+    /// coordinator to run the depth-2 fallback round).
+    AbortAck {
+        /// The committed snapshot failed its frame check on this engine.
+        fallback: bool,
+    },
 
     // ---------------------------------------------------- directory (Fig 15)
     /// Ask the directory where to write a chunk.
@@ -519,6 +548,8 @@ impl<P: GasProgram> std::fmt::Debug for Msg<P> {
             Msg::WriteAck { .. } => "WriteAck",
             Msg::DeleteUpdates { .. } => "DeleteUpdates",
             Msg::CheckpointChunk { .. } => "CheckpointChunk",
+            Msg::CheckpointValidate => "CheckpointValidate",
+            Msg::CheckpointValidateAck { .. } => "CheckpointValidateAck",
             Msg::CheckpointCommit { .. } => "CheckpointCommit",
             Msg::CheckpointCommitAck => "CheckpointCommitAck",
             Msg::ResetEdgeEpoch => "ResetEdgeEpoch",
@@ -532,7 +563,7 @@ impl<P: GasProgram> std::fmt::Debug for Msg<P> {
             Msg::BarrierArrive { .. } => "BarrierArrive",
             Msg::BarrierRelease { .. } => "BarrierRelease",
             Msg::Abort { .. } => "Abort",
-            Msg::AbortAck => "AbortAck",
+            Msg::AbortAck { .. } => "AbortAck",
             Msg::DirWrite { .. } => "DirWrite",
             Msg::DirWriteResp { .. } => "DirWriteResp",
             Msg::DirRead { .. } => "DirRead",

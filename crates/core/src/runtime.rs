@@ -143,6 +143,9 @@ pub struct RunParams {
     /// the cluster bins, when the run cannot skip anyway; see
     /// [`crate::config::ChaosConfig::block_records`].
     pub block_records: u32,
+    /// Whether storage engines scrub every resident and on-disk frame
+    /// between iterations (see [`crate::config::ChaosConfig::scrub`]).
+    pub scrub: bool,
 }
 
 impl RunParams {
@@ -169,6 +172,7 @@ impl RunParams {
             placement: cfg.placement,
             streaming: cfg.streaming,
             block_records: 0,
+            scrub: cfg.scrub,
         }
     }
 

@@ -20,8 +20,10 @@ use std::sync::Arc;
 use chaos_gas::{GasProgram, Update};
 use chaos_graph::Edge;
 use chaos_runtime::Actor;
-use chaos_sim::{Time, MICROS};
-use chaos_storage::{BlockIndex, ChunkIndex, ChunkSet, Device, PageCache, VertexArray};
+use chaos_sim::{rng::mix2, Time, MICROS};
+use chaos_storage::{
+    BlockIndex, ChunkIndex, ChunkSet, Device, PageCache, VertexArray, FRAME_BYTES,
+};
 
 use chaos_storage::FileBacking;
 
@@ -89,9 +91,64 @@ const METADATA_NS: Time = 2_000;
 /// consecutive failures the engine stops probing and waits out the fault
 /// window itself. Fully deterministic — no randomness — so retry latency
 /// is identical on every backend.
-const RETRY_BASE: Time = 100 * MICROS;
-const RETRY_CAP: Time = 1_600 * MICROS;
-const RETRY_MAX_ATTEMPTS: u32 = 6;
+pub(crate) const RETRY_BASE: Time = 100 * MICROS;
+pub(crate) const RETRY_CAP: Time = 1_600 * MICROS;
+pub(crate) const RETRY_MAX_ATTEMPTS: u32 = 6;
+
+/// One device operation through the transient-fault retry discipline, as a
+/// free function so the boundary behavior is unit-testable in isolation: a
+/// [`chaos_storage::DeviceError`] is absorbed by retrying with bounded
+/// exponential backoff (`RETRY_BASE` doubling to `RETRY_CAP`); after
+/// `RETRY_MAX_ATTEMPTS` failures the caller stops probing and jumps to the
+/// fault window's reported close. Returns `(completion, retries, waited)`
+/// where `waited` is the simulated time lost before the successful dispatch.
+pub(crate) fn retry_device_io(
+    device: &mut Device,
+    now: Time,
+    bytes: u64,
+    write: bool,
+) -> (Time, u64, Time) {
+    let mut at = now;
+    let mut backoff = RETRY_BASE;
+    let mut attempts = 0u32;
+    let mut retries = 0u64;
+    loop {
+        let res = if write {
+            device.try_write(at, bytes)
+        } else {
+            device.try_read(at, bytes)
+        };
+        match res {
+            Ok(done) => return (done, retries, at - now),
+            Err(e) => {
+                retries += 1;
+                attempts += 1;
+                at = if attempts >= RETRY_MAX_ATTEMPTS {
+                    // Give up probing: the device told us when the
+                    // fault window closes; resume right there.
+                    at.max(e.until)
+                } else {
+                    at + backoff
+                };
+                backoff = (backoff * 2).min(RETRY_CAP);
+            }
+        }
+    }
+}
+
+/// What the detect–repair ladder does once a corruption episode proves
+/// persistent (every bounded-backoff re-read inside the window failed its
+/// frame check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Repair {
+    /// Wait the corrupting window out and re-read: the stored bytes are
+    /// intact (the corruption hit the wire), nothing durable to fix.
+    Reread,
+    /// Additionally rewrite the extent from its verified source — vertex
+    /// chunks and checkpoint frames are re-sealed so later reads start
+    /// from a freshly framed copy. Charged as one extra read + write.
+    Rewrite,
+}
 
 /// The storage engine of one machine.
 pub struct StorageEngine<P: GasProgram> {
@@ -121,6 +178,24 @@ pub struct StorageEngine<P: GasProgram> {
     vertices: Vec<VertexArray<P::VertexState>>,
     ckpt_pending: Vec<VertexArray<P::VertexState>>,
     ckpt_committed: Vec<VertexArray<P::VertexState>>,
+    /// One snapshot below `ckpt_committed` on the depth-2 chain: the
+    /// snapshot that was committed before the current one. Recovery falls
+    /// back here when the committed copy fails its frame check (a torn
+    /// checkpoint write surfacing during restore).
+    ckpt_prev: Vec<VertexArray<P::VertexState>>,
+    /// A committed chunk whose frame check fails persistently (torn by a
+    /// crash mid-write); detected during restore, cleared by the fallback
+    /// round.
+    torn_chunk: Option<(usize, u32)>,
+    /// Monotone framed-read counter: the deterministic "offset" identity
+    /// the corruption oracle hashes, advanced identically on every backend
+    /// because per-engine message order is deterministic.
+    read_seq: u64,
+    /// Fault-injection hook for the validation round: marks the pending
+    /// snapshot torn so the next [`Msg::CheckpointValidate`] reports a
+    /// failed frame check and the coordinator drops the snapshot instead
+    /// of promoting it.
+    pub pending_torn: bool,
     /// Fault account: transient device faults absorbed by retrying.
     pub device_retries: u64,
     /// Fault account: simulated time spent backing off on faulted devices.
@@ -129,6 +204,17 @@ pub struct StorageEngine<P: GasProgram> {
     pub checkpoint_bytes: u64,
     /// Fault account: device time charged to checkpoint snapshot writes.
     pub checkpoint_time: Time,
+    /// Integrity account: framed reads whose checksum check failed.
+    pub corruption_detected: u64,
+    /// Integrity account: corruption episodes resolved (re-read clean,
+    /// extent rewritten, or checkpoint chain fallback completed).
+    pub corruption_repaired: u64,
+    /// Integrity account: frames walked by scrub passes.
+    pub frames_scrubbed: u64,
+    /// Integrity account: frame bytes charged to checksummed transfers.
+    pub checksum_bytes: u64,
+    /// Pending snapshots dropped by a failed validation round.
+    pub snapshots_dropped: u64,
 }
 
 impl<P: GasProgram> StorageEngine<P> {
@@ -188,10 +274,21 @@ impl<P: GasProgram> StorageEngine<P> {
             ckpt_committed: (0..parts)
                 .map(|_| VertexArray::new(params.vstate_bytes))
                 .collect(),
+            ckpt_prev: (0..parts)
+                .map(|_| VertexArray::new(params.vstate_bytes))
+                .collect(),
+            torn_chunk: None,
+            read_seq: 0,
+            pending_torn: false,
             device_retries: 0,
             faulted_time: 0,
             checkpoint_bytes: 0,
             checkpoint_time: 0,
+            corruption_detected: 0,
+            corruption_repaired: 0,
+            frames_scrubbed: 0,
+            checksum_bytes: 0,
+            snapshots_dropped: 0,
             params,
         }
     }
@@ -217,6 +314,28 @@ impl<P: GasProgram> StorageEngine<P> {
         chunk_no: u32,
     ) -> Option<Arc<Vec<P::VertexState>>> {
         self.ckpt_committed[part].get(chunk_no)
+    }
+
+    /// Read access to the previous committed checkpoint on the depth-2
+    /// chain (tests / recovery).
+    pub fn checkpoint_prev_chunk(
+        &self,
+        part: usize,
+        chunk_no: u32,
+    ) -> Option<Arc<Vec<P::VertexState>>> {
+        self.ckpt_prev[part].get(chunk_no)
+    }
+
+    /// First chunk of the committed checkpoint in (partition, chunk)
+    /// order — the probe target when a torn checkpoint write surfaces
+    /// during restore.
+    fn first_committed_chunk(&self) -> Option<(usize, u32)> {
+        for part in 0..self.ckpt_committed.len() {
+            if let Some(no) = self.ckpt_committed[part].chunk_nos().next() {
+                return Some((part, no));
+            }
+        }
+        None
     }
 
     /// Folds this engine's edge-chunk window widths (forward and reverse
@@ -284,7 +403,7 @@ impl<P: GasProgram> StorageEngine<P> {
                 }
             }
         }
-        let done = self.device_write(now, bytes);
+        let done = self.framed_write(now, bytes);
         self.respond_at(
             ctx,
             done,
@@ -411,34 +530,10 @@ impl<P: GasProgram> StorageEngine<P> {
     /// `now` this is arithmetically identical to a plain
     /// `Device::read`/`Device::write`.
     fn device_io(&mut self, now: Time, bytes: u64, write: bool) -> Time {
-        let mut at = now;
-        let mut backoff = RETRY_BASE;
-        let mut attempts = 0u32;
-        loop {
-            let res = if write {
-                self.device.try_write(at, bytes)
-            } else {
-                self.device.try_read(at, bytes)
-            };
-            match res {
-                Ok(done) => {
-                    self.faulted_time += at - now;
-                    return done;
-                }
-                Err(e) => {
-                    self.device_retries += 1;
-                    attempts += 1;
-                    at = if attempts >= RETRY_MAX_ATTEMPTS {
-                        // Give up probing: the device told us when the
-                        // fault window closes; resume right there.
-                        at.max(e.until)
-                    } else {
-                        at + backoff
-                    };
-                    backoff = (backoff * 2).min(RETRY_CAP);
-                }
-            }
-        }
+        let (done, retries, waited) = retry_device_io(&mut self.device, now, bytes, write);
+        self.device_retries += retries;
+        self.faulted_time += waited;
+        done
     }
 
     /// A device read with transient-fault retry (see [`Self::device_io`]).
@@ -451,21 +546,113 @@ impl<P: GasProgram> StorageEngine<P> {
         self.device_io(now, bytes, true)
     }
 
-    /// Promotes the pending checkpoint snapshot to committed, dropping
-    /// the previous checkpoint only now (phase two of §6.6).
+    /// A framed device write: the payload travels with its
+    /// [`FRAME_BYTES`]-wide checksum frame, charged to the device and to
+    /// the `checksum_bytes` account so integrity overhead is measurable.
+    fn framed_write(&mut self, now: Time, bytes: u64) -> Time {
+        self.checksum_bytes += FRAME_BYTES;
+        self.device_write(now, bytes + FRAME_BYTES)
+    }
+
+    /// A framed device read through the detect–repair ladder.
+    ///
+    /// The read transfers `bytes + FRAME_BYTES` and then evaluates its
+    /// frame check at the completion instant against the device's
+    /// corruption oracle — a pure function of `(window salt, completion
+    /// time, read sequence)`, so the same reads corrupt on every backend.
+    /// On a mismatch the engine re-reads with the PR 8 bounded-backoff
+    /// discipline (transient corruption usually clears: the stored bytes
+    /// are fine, the wire flipped a bit); if every attempt inside the
+    /// window fails, it escalates per `repair`: wait the window out,
+    /// re-read clean, and — for vertex/checkpoint extents — rewrite the
+    /// extent from its verified committed copy.
+    fn framed_read_frames(&mut self, now: Time, bytes: u64, frames: u64, repair: Repair) -> Time {
+        self.checksum_bytes += frames * FRAME_BYTES;
+        let total = bytes + frames * FRAME_BYTES;
+        self.read_seq += 1;
+        let key = mix2(self.read_seq, bytes);
+        let mut start = now;
+        let mut backoff = RETRY_BASE;
+        let mut attempts = 0u32;
+        loop {
+            let done = self.device_io(start, total, false);
+            let Some(window_end) = self.device.corrupt_read(done, key) else {
+                // A clean read after at least one failed frame check is a
+                // repaired episode (the backoff re-read did its job).
+                if attempts > 0 {
+                    self.corruption_repaired += 1;
+                }
+                return done;
+            };
+            self.corruption_detected += 1;
+            attempts += 1;
+            if attempts >= RETRY_MAX_ATTEMPTS {
+                // Persistent inside this window: stop probing, resume at
+                // the window's close, and re-read clean.
+                let mut resume = done.max(window_end);
+                loop {
+                    self.faulted_time += resume - done;
+                    // The re-read moves the frame bytes again.
+                    self.checksum_bytes += frames * FRAME_BYTES;
+                    let fin = self.device_io(resume, total, false);
+                    match self.device.corrupt_read(fin, key) {
+                        Some(until) => {
+                            // Another window covers the re-read; hop again.
+                            self.corruption_detected += 1;
+                            resume = fin.max(until);
+                        }
+                        None => {
+                            self.corruption_repaired += 1;
+                            return match repair {
+                                Repair::Reread => fin,
+                                Repair::Rewrite => {
+                                    // Re-seal the extent from the verified
+                                    // copy: one read of the source plus one
+                                    // framed write of the extent.
+                                    let r = self.device_io(fin, total, false);
+                                    self.checksum_bytes += FRAME_BYTES;
+                                    self.device_io(r, total, true)
+                                }
+                            };
+                        }
+                    }
+                }
+            }
+            self.faulted_time += backoff;
+            self.checksum_bytes += frames * FRAME_BYTES;
+            start = done + backoff;
+            backoff = (backoff * 2).min(RETRY_CAP);
+        }
+    }
+
+    /// A framed single-chunk read (see [`Self::framed_read_frames`]).
+    fn framed_read(&mut self, now: Time, bytes: u64, repair: Repair) -> Time {
+        self.framed_read_frames(now, bytes, 1, repair)
+    }
+
+    /// Promotes the pending checkpoint snapshot to committed, shifting the
+    /// depth-2 chain: the outgoing committed snapshot becomes the fallback
+    /// (`ckpt_prev`) and is only dropped when the *next* promote pushes it
+    /// off the end (phase two of §6.6, extended for torn-write recovery).
     fn promote_checkpoint(&mut self) {
         for part in 0..self.ckpt_pending.len() {
+            if self.ckpt_pending[part].is_empty() {
+                // Nothing pending for this partition (e.g. a crash-driven
+                // re-promote after the snapshot already moved): keep the
+                // chain as is.
+                continue;
+            }
             let pending = std::mem::replace(
                 &mut self.ckpt_pending[part],
                 VertexArray::new(self.params.vstate_bytes),
             );
-            for no in 0..u32::MAX {
-                match pending.get(no) {
-                    Some(c) => {
-                        self.ckpt_committed[part].put(no, c);
-                    }
-                    None => break,
-                }
+            self.ckpt_prev[part] = std::mem::replace(
+                &mut self.ckpt_committed[part],
+                VertexArray::new(self.params.vstate_bytes),
+            );
+            for no in pending.chunk_nos() {
+                let c = pending.get(no).expect("iterated chunk exists");
+                self.ckpt_committed[part].put(no, c);
             }
         }
     }
@@ -510,7 +697,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
             Msg::InputChunkReq { from } => match self.input.serve_next().expect("mem io") {
                 Some(data) => {
                     let bytes = data.len() as u64 * self.params.edge_bytes;
-                    let done = self.device_read(now, bytes);
+                    let done = self.framed_read(now, bytes, Repair::Reread);
                     self.respond_at(
                         ctx,
                         done,
@@ -567,7 +754,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 match outcome.served {
                     Some(served) => {
                         let bytes = served.data.len() as u64 * self.params.edge_bytes;
-                        let done = self.device_read(now, bytes);
+                        let done = self.framed_read(now, bytes, Repair::Reread);
                         self.respond_at(
                             ctx,
                             done,
@@ -603,10 +790,11 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                         let bytes = data.len() as u64 * self.params.update_bytes;
                         let done = if self.cache.read_hits() {
                             // Cache hits are a memory path: device faults
-                            // cannot touch them.
+                            // cannot touch them, and the frame was verified
+                            // when the page entered the cache.
                             self.device.cache_read(now, bytes) + METADATA_NS
                         } else {
-                            self.device_read(now, bytes)
+                            self.framed_read(now, bytes, Repair::Reread)
                         };
                         self.respond_at(
                             ctx,
@@ -642,7 +830,9 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                     .get(chunk_no)
                     .expect("vertex chunk must exist at its home engine");
                 let bytes = data.len() as u64 * self.params.vstate_bytes;
-                let done = self.device_read(now, bytes);
+                // Vertex chunks have a durable verified source (the vertex
+                // array itself): a persistent mismatch re-seals the extent.
+                let done = self.framed_read(now, bytes, Repair::Rewrite);
                 self.respond_at(
                     ctx,
                     done,
@@ -687,7 +877,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                     bytes += w.data.len() as u64 * self.params.edge_bytes;
                     self.merge_edge_write(w.part, w.reverse, w.data);
                 }
-                let done = self.device_write(now, bytes);
+                let done = self.framed_write(now, bytes);
                 self.respond_at(
                     ctx,
                     done,
@@ -709,7 +899,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 let bytes = data.len() as u64 * self.params.update_bytes;
                 self.updates[part].append(data).expect("mem io");
                 self.cache.insert(bytes);
-                let done = self.device_write(now, bytes);
+                let done = self.framed_write(now, bytes);
                 self.respond_at(
                     ctx,
                     done,
@@ -727,7 +917,7 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 from,
             } => {
                 let bytes = self.vertices[part].put(chunk_no, data);
-                let done = self.device_write(now, bytes);
+                let done = self.framed_write(now, bytes);
                 self.respond_at(
                     ctx,
                     done,
@@ -752,7 +942,38 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 for cs in &mut self.redges {
                     cs.reset_epoch();
                 }
-                ctx.send(me, Addr::Coordinator, Msg::EpochResetAck, CONTROL_BYTES);
+                if self.params.scrub {
+                    // Between-iterations scrub pass: walk every frame this
+                    // engine holds — edge, reverse-edge and update chunks,
+                    // live vertex chunks, and both levels of the checkpoint
+                    // chain — re-reading and re-verifying each one through
+                    // the detect–repair ladder. The ack is deferred until
+                    // the scrub I/O completes, so scrubbing costs show up
+                    // as iteration-boundary latency.
+                    let mut frames = 0u64;
+                    let mut bytes = 0u64;
+                    for set in self.edges.iter().chain(&self.redges) {
+                        let s = set.stats();
+                        frames += s.chunks;
+                        bytes += s.bytes;
+                    }
+                    for set in &self.updates {
+                        let s = set.stats();
+                        frames += s.chunks;
+                        bytes += s.bytes;
+                    }
+                    for arrs in [&self.vertices, &self.ckpt_committed, &self.ckpt_prev] {
+                        for va in arrs.iter() {
+                            frames += va.len() as u64;
+                            bytes += va.total_bytes();
+                        }
+                    }
+                    self.frames_scrubbed += frames;
+                    let done = self.framed_read_frames(now, bytes, frames, Repair::Reread);
+                    self.respond_at(ctx, done, usize::MAX, Msg::EpochResetAck, CONTROL_BYTES);
+                } else {
+                    ctx.send(me, Addr::Coordinator, Msg::EpochResetAck, CONTROL_BYTES);
+                }
             }
 
             // ------------------------------------------------- checkpoint
@@ -768,8 +989,8 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 self.ckpt_pending[part].put(chunk_no, data);
                 // The live chunk was just written by the master's apply and
                 // is still in the cache; the checkpoint copy costs one
-                // device write.
-                let done = self.device_write(now, bytes);
+                // framed device write.
+                let done = self.framed_write(now, bytes);
                 self.checkpoint_bytes += bytes;
                 self.checkpoint_time += done - now;
                 self.respond_at(
@@ -782,10 +1003,44 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                     CONTROL_BYTES,
                 );
             }
-            Msg::CheckpointCommit { from } => {
-                // Phase two of the 2-phase protocol: promote pending copies,
-                // dropping the previous checkpoint only now (§6.6).
-                self.promote_checkpoint();
+            Msg::CheckpointValidate => {
+                // Validation round between copy and promote: re-read the
+                // frame of every pending checkpoint chunk and verify it, so
+                // the coordinator only promotes snapshots whose on-device
+                // framing is sound on every machine.
+                let frames: u64 = self.ckpt_pending.iter().map(|p| p.len() as u64).sum();
+                // The copies were written moments ago and their frames are
+                // still cache-resident, so verification is a memory-path
+                // pass (a torn write is visible there too: the frame simply
+                // does not match the payload).
+                self.checksum_bytes += frames * FRAME_BYTES;
+                let done = self.device.cache_read(now, frames * FRAME_BYTES) + METADATA_NS;
+                let ok = !self.pending_torn;
+                self.respond_at(
+                    ctx,
+                    done,
+                    usize::MAX,
+                    Msg::CheckpointValidateAck { ok },
+                    CONTROL_BYTES,
+                );
+            }
+            Msg::CheckpointCommit { from, promote } => {
+                if promote {
+                    // Phase two of the 2-phase protocol: promote pending
+                    // copies, shifting the previous checkpoint one level
+                    // down the chain only now (§6.6).
+                    self.promote_checkpoint();
+                } else {
+                    // Validation failed on some machine: the snapshot is
+                    // not globally sound. Drop every pending copy; the
+                    // committed chain is untouched and the next checkpoint
+                    // round starts from scratch.
+                    self.pending_torn = false;
+                    self.snapshots_dropped += 1;
+                    for part in 0..self.ckpt_pending.len() {
+                        self.ckpt_pending[part] = VertexArray::new(self.params.vstate_bytes);
+                    }
+                }
                 self.respond_at(
                     ctx,
                     now + METADATA_NS,
@@ -800,10 +1055,26 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                 gen,
                 iter: _,
                 commit,
+                torn,
+                rewind,
             } => {
                 self.gen = gen;
                 ctx.gen = gen;
-                if commit {
+                if rewind {
+                    // Depth-2 fallback round: the committed snapshot proved
+                    // torn during the first restore attempt, so drop one
+                    // level down the checkpoint chain — the previously
+                    // committed snapshot becomes the restore source.
+                    for part in 0..self.ckpt_committed.len() {
+                        self.ckpt_committed[part] = std::mem::replace(
+                            &mut self.ckpt_prev[part],
+                            VertexArray::new(self.params.vstate_bytes),
+                        );
+                    }
+                    if self.torn_chunk.take().is_some() {
+                        self.corruption_repaired += 1;
+                    }
+                } else if commit {
                     // The crash hit after every machine finished its copy
                     // phase but before the commit round completed: the
                     // pending snapshot is globally consistent, so finish
@@ -818,37 +1089,77 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
                     }
                 }
                 // Drop this iteration's partial update sets; rewind edge
-                // cursors; restore vertex chunks from the committed
-                // checkpoint.
-                let mut restored_bytes = 0;
+                // cursors.
                 for part in 0..self.updates.len() {
                     let b = self.updates[part].stats().bytes;
                     self.cache.remove(b);
                     self.updates[part].clear().expect("mem io");
                     self.edges[part].reset_epoch();
                     self.redges[part].reset_epoch();
-                    for no in 0..u32::MAX {
-                        match self.ckpt_committed[part].get(no) {
-                            Some(c) => {
-                                restored_bytes += c.len() as u64 * self.params.vstate_bytes;
-                                self.vertices[part].put(no, c);
+                }
+                if torn == Some(me) {
+                    if let Some((part, no)) = self.first_committed_chunk() {
+                        // The crash tore this machine's checkpoint write:
+                        // the first committed chunk fails its frame check on
+                        // every bounded-backoff re-read. Probing is charged
+                        // like the detect–repair ladder — the transfer plus
+                        // backoff per attempt — and then the engine
+                        // escalates instead of restoring from damaged data.
+                        self.torn_chunk = Some((part, no));
+                        self.checksum_bytes += FRAME_BYTES;
+                        let bytes =
+                            self.ckpt_committed[part].chunk_bytes(no) + FRAME_BYTES;
+                        let mut start = now;
+                        let mut backoff = RETRY_BASE;
+                        let mut done = now;
+                        for attempt in 1..=RETRY_MAX_ATTEMPTS {
+                            done = self.device_read(start, bytes);
+                            self.corruption_detected += 1;
+                            if attempt < RETRY_MAX_ATTEMPTS {
+                                self.faulted_time += backoff;
+                                start = done + backoff;
+                                backoff = (backoff * 2).min(RETRY_CAP);
                             }
-                            None => break,
                         }
+                        ctx.at(
+                            done,
+                            Addr::Storage(me),
+                            Msg::StorageRespond {
+                                to: usize::MAX, // routed to the coordinator
+                                bytes: CONTROL_BYTES,
+                                inner: Box::new(Msg::AbortAck { fallback: true }),
+                            },
+                        );
+                        return;
                     }
                 }
-                // Restoration I/O: read checkpoint, write live copies —
-                // through the fault layer, so a device fault during
-                // recovery only delays the AbortAck.
-                self.device_read(now, restored_bytes);
-                let done = self.device_write(now, restored_bytes);
+                // Restore vertex chunks from the committed checkpoint.
+                let mut restored_bytes = 0;
+                let mut restored_frames = 0u64;
+                for part in 0..self.vertices.len() {
+                    let nos: Vec<u32> = self.ckpt_committed[part].chunk_nos().collect();
+                    for no in nos {
+                        let c = self.ckpt_committed[part].get(no).expect("iterated chunk");
+                        restored_bytes += c.len() as u64 * self.params.vstate_bytes;
+                        restored_frames += 1;
+                        self.vertices[part].put(no, c);
+                    }
+                }
+                // Restoration I/O: framed read of the checkpoint (every
+                // chunk re-verifies its frame), framed write of the live
+                // copies — through the fault layer, so a device fault
+                // during recovery only delays the AbortAck.
+                self.framed_read_frames(now, restored_bytes, restored_frames, Repair::Reread);
+                self.checksum_bytes += restored_frames * FRAME_BYTES;
+                let done =
+                    self.device_write(now, restored_bytes + restored_frames * FRAME_BYTES);
                 ctx.at(
                     done,
                     Addr::Storage(me),
                     Msg::StorageRespond {
                         to: usize::MAX, // routed to the coordinator below
                         bytes: CONTROL_BYTES,
-                        inner: Box::new(Msg::AbortAck),
+                        inner: Box::new(Msg::AbortAck { fallback: false }),
                     },
                 );
             }
@@ -865,5 +1176,60 @@ impl<P: GasProgram> Actor for StorageEngine<P> {
 
             other => panic!("storage engine got unexpected message {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_storage::{DeviceProfile, FaultWindow};
+
+    fn faulted_device(until: Time) -> Device {
+        let mut d = Device::new(DeviceProfile::ssd());
+        d.set_faults(vec![FaultWindow {
+            from: 0,
+            until,
+            reads: true,
+            writes: true,
+        }]);
+        d
+    }
+
+    /// From `now = 0` the probe times are 0, 100 µs, 300 µs, 700 µs,
+    /// 1500 µs and 3100 µs (base 100 µs doubling, capped at 1600 µs). A
+    /// window closing *exactly* at the sixth probe lets it succeed with
+    /// five retries and no jump.
+    #[test]
+    fn retry_succeeds_when_window_closes_at_the_sixth_probe() {
+        let mut d = faulted_device(3_100 * MICROS);
+        let (done, retries, waited) = retry_device_io(&mut d, 0, 1024, false);
+        assert_eq!(retries, 5, "five failed probes, sixth lands healthy");
+        assert_eq!(waited, 3_100 * MICROS);
+        assert!(done > 3_100 * MICROS, "the read itself still takes time");
+        assert_eq!(d.stats().reads, 1, "faulted probes never occupy the device");
+    }
+
+    /// One tick later and the sixth probe still faults: the engine stops
+    /// probing, jumps to the window close the device reported, and the
+    /// seventh dispatch succeeds — six retries total.
+    #[test]
+    fn retry_jumps_to_window_end_when_sixth_probe_still_faults() {
+        let until = 3_100 * MICROS + 1;
+        let mut d = faulted_device(until);
+        let (done, retries, waited) = retry_device_io(&mut d, 0, 1024, false);
+        assert_eq!(retries, 6, "sixth probe fails, then the jump succeeds");
+        assert_eq!(waited, until, "resumes exactly at the reported close");
+        assert!(done > until);
+        assert_eq!(d.stats().reads, 1);
+    }
+
+    /// Writes share the same discipline and accounting.
+    #[test]
+    fn retry_discipline_applies_to_writes() {
+        let mut d = faulted_device(250 * MICROS);
+        let (_, retries, waited) = retry_device_io(&mut d, 0, 1024, true);
+        assert_eq!(retries, 2, "fails at 0 and 100 µs, succeeds at 300 µs");
+        assert_eq!(waited, 300 * MICROS);
+        assert_eq!(d.stats().writes, 1);
     }
 }

@@ -1,6 +1,6 @@
 //! Secondary-storage device model.
 
-use chaos_sim::{Resource, Time, MIB, MICROS};
+use chaos_sim::{rng::mix2, Resource, Time, MIB, MICROS};
 
 /// Bandwidth/latency profile of a storage device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +56,27 @@ pub struct FaultWindow {
     pub writes: bool,
 }
 
+/// A silent-corruption window: while `from <= now < until`, a read whose
+/// frame check is evaluated at `now` is corrupted iff
+/// `mix2(salt, now ^ key) % one_in == 0` — a pure function of
+/// `(seed-derived salt, simulated time, read key)`, so faulted runs stay
+/// bit-identical across executor backends. The window flips bits *on the
+/// wire*, never in the stored chunk: a later re-read of the same data
+/// draws a fresh verdict, which is what makes bounded-backoff re-reads the
+/// right first rung of the repair ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionWindow {
+    /// First corruptible instant (inclusive).
+    pub from: Time,
+    /// First clean instant (exclusive end of the window).
+    pub until: Time,
+    /// Seed- and machine-derived salt for the corruption hash.
+    pub salt: u64,
+    /// Roughly one in `one_in` framed reads inside the window is corrupted
+    /// (1 = every read).
+    pub one_in: u64,
+}
+
 /// A transient device fault reported by [`Device::try_read`] /
 /// [`Device::try_write`]: the operation was rejected without occupying
 /// the device. Carries when the last covering window closes so callers
@@ -93,6 +114,7 @@ pub struct Device {
     server: Resource,
     stats: DeviceStats,
     faults: Vec<FaultWindow>,
+    corruption: Vec<CorruptionWindow>,
 }
 
 impl Device {
@@ -103,6 +125,7 @@ impl Device {
             server: Resource::new(profile.bandwidth, profile.latency),
             stats: DeviceStats::default(),
             faults: Vec::new(),
+            corruption: Vec::new(),
         }
     }
 
@@ -111,6 +134,29 @@ impl Device {
     /// arithmetic path.
     pub fn set_faults(&mut self, faults: Vec<FaultWindow>) {
         self.faults = faults;
+    }
+
+    /// Installs the silent-corruption windows for this run. An empty list
+    /// (the default) makes every frame check pass unconditionally.
+    pub fn set_corruption(&mut self, corruption: Vec<CorruptionWindow>) {
+        self.corruption = corruption;
+    }
+
+    /// The corruption oracle: evaluates the frame check of a read completed
+    /// at `now` with deterministic read identity `key`. Returns when the
+    /// last corrupting window closes if the frame check fails, or `None`
+    /// if the data arrived intact.
+    pub fn corrupt_read(&self, now: Time, key: u64) -> Option<Time> {
+        let mut until: Option<Time> = None;
+        for w in &self.corruption {
+            if w.from <= now
+                && now < w.until
+                && mix2(w.salt, now ^ key).is_multiple_of(w.one_in.max(1))
+            {
+                until = Some(until.map_or(w.until, |u| u.max(w.until)));
+            }
+        }
+        until
     }
 
     /// Returns when the last fault window covering `now` for this
@@ -260,6 +306,56 @@ mod tests {
             },
         ]);
         assert_eq!(d.try_write(2000, 64), Err(DeviceError { until: 8000 }));
+    }
+
+    #[test]
+    fn corruption_oracle_is_deterministic_and_windowed() {
+        let mut d = Device::new(DeviceProfile::ssd());
+        assert_eq!(d.corrupt_read(1500, 42), None, "no windows, no corruption");
+        d.set_corruption(vec![CorruptionWindow {
+            from: 1000,
+            until: 5000,
+            salt: 0xBEEF,
+            one_in: 1,
+        }]);
+        // one_in = 1: every framed read inside the window fails its check,
+        // and the verdict is a pure function of (time, key).
+        assert_eq!(d.corrupt_read(1500, 42), Some(5000));
+        assert_eq!(d.corrupt_read(1500, 42), Some(5000));
+        // Outside the window (exclusive end) the data is clean.
+        assert_eq!(d.corrupt_read(999, 42), None);
+        assert_eq!(d.corrupt_read(5000, 42), None);
+        // Sparser windows corrupt a deterministic subset of reads.
+        d.set_corruption(vec![CorruptionWindow {
+            from: 0,
+            until: 1_000_000,
+            salt: 0xBEEF,
+            one_in: 4,
+        }]);
+        let hits = (0..1000u64)
+            .filter(|k| d.corrupt_read(10_000, *k).is_some())
+            .count();
+        assert!((150..400).contains(&hits), "one_in=4 hit {hits}/1000");
+    }
+
+    #[test]
+    fn overlapping_corruption_windows_report_last_close() {
+        let mut d = Device::new(DeviceProfile::ssd());
+        d.set_corruption(vec![
+            CorruptionWindow {
+                from: 0,
+                until: 3000,
+                salt: 1,
+                one_in: 1,
+            },
+            CorruptionWindow {
+                from: 1000,
+                until: 8000,
+                salt: 2,
+                one_in: 1,
+            },
+        ]);
+        assert_eq!(d.corrupt_read(2000, 7), Some(8000));
     }
 
     #[test]

@@ -19,10 +19,12 @@ pub mod cache;
 pub mod chunk;
 pub mod device;
 pub mod file;
+pub mod frame;
 pub mod vertex;
 
 pub use cache::PageCache;
 pub use chunk::{BlockIndex, ChunkIndex, ChunkSet, ChunkSetStats, ServeOutcome, ServedChunk};
-pub use device::{Device, DeviceError, DeviceProfile, FaultWindow};
+pub use device::{CorruptionWindow, Device, DeviceError, DeviceProfile, FaultWindow};
 pub use file::{FileBacking, ScratchDir};
+pub use frame::{crc32, ExtentFrame, FRAME_BYTES, FRAME_MAGIC};
 pub use vertex::VertexArray;

@@ -60,6 +60,12 @@ impl<T> VertexArray<T> {
         self.chunks.is_empty()
     }
 
+    /// Iterates held chunk numbers in ascending order (scrub walks and
+    /// checkpoint-chain maintenance).
+    pub fn chunk_nos(&self) -> impl Iterator<Item = u32> + '_ {
+        self.chunks.keys().copied()
+    }
+
     /// Total storage bytes held.
     pub fn total_bytes(&self) -> u64 {
         self.chunks

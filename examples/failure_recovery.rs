@@ -50,6 +50,7 @@ fn main() {
                 phase: chaos::core::msg::PhaseKind::Scatter,
             },
             downtime: 10 * SECS,
+            torn: false,
         })
         .with_crash(CrashFault {
             machine: 5,
@@ -58,6 +59,7 @@ fn main() {
                 phase: chaos::core::msg::PhaseKind::Scatter,
             },
             downtime: 30 * SECS,
+            torn: false,
         })
         .with_device_fault(DeviceFault {
             machine: 0,

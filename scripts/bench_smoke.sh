@@ -15,31 +15,39 @@
 # A fig13 pass then measures checkpoint overhead (two-phase vertex
 # snapshots at every gather barrier, HDD cluster): each algorithm's
 # simulated checkpoint-on/checkpoint-off runtime ratio must stay under
-# 15% — the recovery machinery may not tax fault-free runs.
+# 15% — the recovery machinery (now including checksum frames and the
+# checkpoint-validation round) may not tax fault-free runs.
+#
+# An integrity pass then byte-compares a corruption-seeded cellstats run
+# (generated fault plan: crashes, torn writes, device/fabric windows and
+# silent-corruption windows) against the fault-free run of the same cell
+# via their states-digest lines, and requires the frame checks to have
+# detected and repaired at least one corruption.
 #
 # The first run doubles as a warm-up for the on-disk RMAT cache
 # (target/rmat-cache), so the timed sequential run measures the engine,
 # not the graph generator. BENCH_NO_CACHE=1 disables the cache for every
 # run.
 #
-# When a BENCH_pr7.json baseline is present (repo root), the run fails if
+# When a BENCH_pr8.json baseline is present (repo root), the run fails if
 # sequential wall time regressed more than 10% against it — the perf gate
-# guarding the fault-injection subsystem's empty-plan fast paths.
+# guarding the integrity subsystem's fault-free fast paths (frame charges
+# are simulated; the gate watches the host-side cost of the checks).
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT_JSON="${1:-BENCH_pr8.json}"
+OUT_JSON="${1:-BENCH_pr9.json}"
 EXPERIMENT="${BENCH_EXPERIMENT:-fig7}"
 PAR_BACKEND="${BENCH_PAR_BACKEND:-par:4}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr7.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr8.json}"
 CACHE_FLAG=()
 if [ "${BENCH_NO_CACHE:-0}" = "1" ]; then
     CACHE_FLAG=(--no-cache)
 fi
 
-cargo build --release -p chaos-bench --bin figures
+cargo build --release -p chaos-bench --bin figures --bin cellstats
 
 BIN=./target/release/figures
 SEQ_OUT=$(mktemp)
@@ -51,8 +59,10 @@ NOBLOCK_OUT=$(mktemp)
 HEAP_OUT=$(mktemp)
 NOBATCH_OUT=$(mktemp)
 CKPT_OUT=$(mktemp)
+CELL_CLEAN=$(mktemp)
+CELL_DIRTY=$(mktemp)
 ERR_LOG=$(mktemp)
-trap 'rm -f "$SEQ_OUT" "$SEQ_ERR" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$NOBLOCK_OUT" "$HEAP_OUT" "$NOBATCH_OUT" "$CKPT_OUT" "$ERR_LOG"' EXIT
+trap 'rm -f "$SEQ_OUT" "$SEQ_ERR" "$PAR_OUT" "$REF_OUT" "$FLAT_OUT" "$NOBLOCK_OUT" "$HEAP_OUT" "$NOBATCH_OUT" "$CKPT_OUT" "$CELL_CLEAN" "$CELL_DIRTY" "$ERR_LOG"' EXIT
 
 # Keep stderr (panics, asserts) out of the compared output but dump it on
 # failure so CI logs show *why* a run died, not just that it did.
@@ -94,6 +104,41 @@ if ! "$BIN" fig13 "${CACHE_FLAG[@]}" --backend seq >"$CKPT_OUT" 2>"$ERR_LOG"; th
     exit 1
 fi
 t8=$(date +%s.%N)
+
+# Integrity byte-compare: the same cell fault-free and under a generated
+# fault schedule (crashes + torn writes + device/fabric/corruption
+# windows). The computed states must be identical, and the frame checks
+# must actually fire: a gate that never detects anything gates nothing.
+CELL=./target/release/cellstats
+FAULT_SEED="${BENCH_FAULT_SEED:-2}"
+"$CELL" PR 4 12 seq selective >"$CELL_CLEAN" 2>"$ERR_LOG" \
+    || { echo "FAIL: fault-free cellstats run died" >&2; cat "$ERR_LOG" >&2; exit 1; }
+"$CELL" PR 4 12 seq selective --scrub --fault-seed "$FAULT_SEED" >"$CELL_DIRTY" 2>"$ERR_LOG" \
+    || { echo "FAIL: corruption-seeded cellstats run died" >&2; cat "$ERR_LOG" >&2; exit 1; }
+t9=$(date +%s.%N)
+CLEAN_DIGEST=$(grep '^states digest:' "$CELL_CLEAN" || true)
+DIRTY_DIGEST=$(grep '^states digest:' "$CELL_DIRTY" || true)
+if [ -z "$CLEAN_DIGEST" ] || [ "$CLEAN_DIGEST" != "$DIRTY_DIGEST" ]; then
+    echo "FAIL: corruption-seeded run computed different results" >&2
+    echo "fault-free: $CLEAN_DIGEST" >&2
+    echo "seeded:     $DIRTY_DIGEST" >&2
+    exit 1
+fi
+echo "OK: corruption-seeded results are byte-identical to fault-free (seed $FAULT_SEED)"
+INTEGRITY=$(sed -n 's/^integrity: //p' "$CELL_DIRTY" | tail -1)
+CORR_DETECTED=$(sed -n 's/^integrity: \([0-9]*\) corruptions detected.*/\1/p' "$CELL_DIRTY")
+CORR_DETECTED=${CORR_DETECTED:-0}
+CORR_REPAIRED=$(sed -n 's/.* detected, \([0-9]*\) repaired.*/\1/p' "$CELL_DIRTY")
+CORR_REPAIRED=${CORR_REPAIRED:-0}
+FRAMES_SCRUBBED=$(sed -n 's/.* repaired, \([0-9]*\) frames scrubbed.*/\1/p' "$CELL_DIRTY")
+FRAMES_SCRUBBED=${FRAMES_SCRUBBED:-0}
+CHECKSUM_BYTES=$(sed -n 's/.* scrubbed, \([0-9]*\) checksum bytes.*/\1/p' "$CELL_DIRTY")
+CHECKSUM_BYTES=${CHECKSUM_BYTES:-0}
+if [ "$CORR_DETECTED" -lt 1 ] || [ "$CORR_REPAIRED" -lt 1 ]; then
+    echo "FAIL: seed $FAULT_SEED never exercised the detect-repair ladder ($INTEGRITY)" >&2
+    exit 1
+fi
+echo "OK: frame checks fired — $INTEGRITY"
 
 check_identical() {
     local other="$1" what="$2"
@@ -150,6 +195,7 @@ REF_S=$(python3 -c "print(f'{$t5 - $t4:.2f}')")
 FLAT_S=$(python3 -c "print(f'{$t6 - $t5:.2f}')")
 NOBLOCK_S=$(python3 -c "print(f'{$t7 - $t6:.2f}')")
 CKPT_S=$(python3 -c "print(f'{$t8 - $t7:.2f}')")
+INTEGRITY_S=$(python3 -c "print(f'{$t9 - $t8:.2f}')")
 SPEEDUP=$(python3 -c "print(f'{($t2 - $t1) / ($t4 - $t3):.3f}')")
 NCPU=$(nproc 2>/dev/null || echo 0)
 # The fig7 harness prints the records-streamed/skipped totals (simulated,
@@ -209,6 +255,13 @@ cat >"$OUT_JSON" <<EOF
   "queue_ops": $QUEUE_OPS,
   "fig13_wall_seconds": $CKPT_S,
   "checkpoint_overhead_worst_pct": $CKPT_OVERHEAD,
+  "integrity_wall_seconds": $INTEGRITY_S,
+  "corruption_fault_seed": $FAULT_SEED,
+  "corruption_detected": $CORR_DETECTED,
+  "corruption_repaired": $CORR_REPAIRED,
+  "frames_scrubbed": $FRAMES_SCRUBBED,
+  "checksum_bytes": $CHECKSUM_BYTES,
+  "corruption_identical_output": true,
   "identical_output": true,
   "host_cpus": $NCPU,
   "recorded_utc": "$(date -u +%FT%TZ)"

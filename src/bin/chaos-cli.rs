@@ -76,8 +76,11 @@ CLUSTER OPTIONS:
                       results are identical for any value)
   --seed <S>          RNG seed
   --fault-seed <S>    inject the seed-S generated fault plan (crashes +
-                      device faults + fabric stragglers; implies
-                      --checkpoint; final states stay identical)
+                      torn writes + device faults + fabric stragglers +
+                      corruption windows; implies --checkpoint; final
+                      states stay identical)
+  --scrub             verify every stored frame between iterations
+                      (integrity scrub pass; adds read traffic only)
   --metrics-json <f>  dump the run's report as stable JSON to <f>
 
 ALGORITHMS: {}",
@@ -155,6 +158,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         cfg.checkpoint = true;
         cfg.faults = FaultPlan::generate(seed, &FaultPlanConfig::soak(machines));
     }
+    cfg.scrub = args.flag("--scrub");
     if args.flag("--hdd") {
         cfg = cfg.with_hdd();
     }
@@ -211,6 +215,21 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             "checkpointing       {:>10.1} MB in {:.3} s",
             fa.checkpoint_bytes as f64 / 1e6,
             fa.checkpoint_time as f64 / 1e9,
+        );
+    }
+    if fa.corruption_detected > 0 || fa.frames_scrubbed > 0 {
+        println!(
+            "data integrity      {:>10} corruptions detected ({} repaired), \
+             {} frames scrubbed",
+            fa.corruption_detected,
+            fa.corruption_repaired,
+            fa.frames_scrubbed,
+        );
+    }
+    if fa.checksum_bytes > 0 {
+        println!(
+            "checksum overhead   {:>10.1} KB of frame bytes",
+            fa.checksum_bytes as f64 / 1e3,
         );
     }
     if let Some(agg) = report.iteration_aggs.last() {

@@ -64,9 +64,9 @@ pub mod prelude {
     pub use chaos_algos::wcc::Wcc;
     pub use chaos_algos::{AlgoParams, ALGO_NAMES};
     pub use chaos_core::{
-        run_chaos, Backend, ChaosConfig, Cluster, CrashFault, CrashTrigger, DeviceFault,
-        FabricFault, FaultAccount, FaultPlan, FaultPlanConfig, IterSelectivity, Placement,
-        QueueKind, RunReport, Streaming,
+        run_chaos, Backend, ChaosConfig, Cluster, CorruptionFault, CrashFault, CrashTrigger,
+        DeviceFault, FabricFault, FaultAccount, FaultPlan, FaultPlanConfig, IterSelectivity,
+        Placement, QueueKind, RunReport, Streaming,
     };
     pub use chaos_gas::{
         run_sequential, ActiveSet, ActivityModel, Control, Direction, GasProgram,

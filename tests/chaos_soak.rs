@@ -1,12 +1,18 @@
 //! Chaos-soak recovery harness: randomized multi-fault schedules.
 //!
 //! For a battery of seeds, [`FaultPlan::generate`] derives a schedule of
-//! machine crashes, device-fault windows and fabric stragglers, and the
-//! run must end with final vertex states **bit-identical** to the
-//! fault-free run of the same `(config, program, graph)` — on the
-//! sequential and parallel backends, in selective and reference streaming
-//! modes, for an aggregate-converging, a frontier and a stateful
-//! multi-phase algorithm.
+//! machine crashes (half of them tearing their in-flight checkpoint
+//! write), device-fault windows, fabric stragglers and silent-corruption
+//! windows, and the run must end with final vertex states
+//! **bit-identical** to the fault-free run of the same
+//! `(config, program, graph)` — on the sequential and parallel backends,
+//! in selective and reference streaming modes, for an
+//! aggregate-converging, a frontier and a stateful multi-phase algorithm.
+//!
+//! On top of each generated schedule the soak scripts one wide, early
+//! corruption window (machine 0, one-in-two reads), so every schedule is
+//! guaranteed to exercise the detect–repair ladder — the generated window
+//! alone can land on an idle machine or a quiet stretch.
 //!
 //! Recovery invariants checked on every faulted run:
 //! - any schedule with at least one crash records at least one abort and
@@ -50,7 +56,15 @@ where
             let (clean, clean_states) = run_chaos(base.clone(), program.clone(), graph);
             assert_eq!(clean.faults.aborts, 0);
             for seed in 0..soak_seeds() {
-                let plan = FaultPlan::generate(seed, &shape);
+                let plan = FaultPlan::generate(seed, &shape).with_corruption_fault(
+                    CorruptionFault {
+                        machine: 0,
+                        from: 0,
+                        until: chaos::sim::SECS,
+                        salt: seed ^ 0x5C0B_B1E5,
+                        one_in: 2,
+                    },
+                );
                 let crashes = plan.crashes.len();
                 let mut cfg = base.clone();
                 cfg.faults = plan;
@@ -60,6 +74,14 @@ where
                 assert_eq!(
                     clean.iteration_aggs, rep.iteration_aggs,
                     "{tag}: per-iteration aggregates must match"
+                );
+                assert!(
+                    rep.faults.corruption_detected >= 1,
+                    "{tag}: the scripted window must be exercised"
+                );
+                assert!(
+                    rep.faults.corruption_repaired >= 1,
+                    "{tag}: every detected corruption must be repaired"
                 );
                 if crashes > 0 {
                     assert!(rep.faults.aborts >= 1, "{tag}: crash schedule, no abort");
@@ -93,4 +115,48 @@ fn bfs_soaks_clean() {
 #[test]
 fn mcst_soaks_clean() {
     soak(Mcst::new(), &weighted_graph(220, 260, 7), "mcst");
+}
+
+/// Host-side and layout axes under a faulted schedule: the heap event
+/// queue (vs the calendar default) must not perturb the simulation at
+/// all — identical report — and chunk-granularity serving
+/// (`block_records = 0`) must still converge to identical states with
+/// identical fault accounting under the same seeded schedule.
+#[test]
+fn seeded_schedules_survive_queue_and_block_index_axes() {
+    let machines = 4;
+    let g = directed_graph(8);
+    let seed = 3;
+    let mut base = test_config(machines);
+    base.checkpoint = true;
+    base.faults = FaultPlan::generate(seed, &FaultPlanConfig::soak(machines))
+        .with_corruption_fault(CorruptionFault {
+            machine: 0,
+            from: 0,
+            until: chaos::sim::SECS,
+            salt: seed ^ 0x5C0B_B1E5,
+            one_in: 2,
+        });
+    let (calendar, calendar_states) = run_chaos(base.clone(), Pagerank::new(4), &g);
+    assert!(calendar.faults.corruption_detected >= 1);
+
+    let mut heap = base.clone();
+    heap.queue = QueueKind::Heap;
+    let (heap_rep, heap_states) = run_chaos(heap, Pagerank::new(4), &g);
+    assert_eq!(calendar_states, heap_states, "queue kind is host-side only");
+    assert_eq!(calendar.runtime, heap_rep.runtime);
+    assert_eq!(calendar.faults.corruption_detected, heap_rep.faults.corruption_detected);
+    assert_eq!(calendar.faults.checksum_bytes, heap_rep.faults.checksum_bytes);
+    assert_eq!(calendar.faults.aborts, heap_rep.faults.aborts);
+
+    let mut coarse = base.clone();
+    coarse.block_records = 0;
+    let (coarse_rep, coarse_states) = run_chaos(coarse, Pagerank::new(4), &g);
+    assert_eq!(
+        calendar_states, coarse_states,
+        "chunk-granularity serving changes layout, never results"
+    );
+    assert_eq!(calendar.faults.aborts, coarse_rep.faults.aborts);
+    assert!(coarse_rep.faults.corruption_detected >= 1);
+    assert_eq!(coarse_rep.blocks_skipped(), 0, "no block indexes to skip with");
 }

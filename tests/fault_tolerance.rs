@@ -127,6 +127,7 @@ fn crash_during_checkpoint_commit_promotes_the_pending_snapshot() {
             machine: 1,
             trigger: CrashTrigger::Commit { iteration: 2 },
             downtime: SECS / 10,
+            torn: false,
         });
         let (failed, states) = run_chaos(cfg, Pagerank::new(4), &g);
         assert_eq!(clean, states, "{backend:?}");
@@ -158,6 +159,7 @@ fn two_machines_failing_the_same_iteration_recover_exactly() {
                     phase: PhaseKind::Scatter,
                 },
                 downtime: 0,
+                torn: false,
             })
             .with_crash(CrashFault {
                 machine: 1,
@@ -166,6 +168,7 @@ fn two_machines_failing_the_same_iteration_recover_exactly() {
                     phase: PhaseKind::Scatter,
                 },
                 downtime: SECS / 20,
+                torn: false,
             });
         let (failed, states) = run_chaos(cfg, Pagerank::new(4), &g);
         assert_eq!(clean, states, "{backend:?}");
@@ -201,6 +204,7 @@ fn crash_during_abort_collection_composes_recoveries() {
             machine: 2,
             trigger: CrashTrigger::Time(t_abort + SECS / 1000),
             downtime,
+            torn: false,
         });
         let (failed, states) = run_chaos(cfg2, Pagerank::new(4), &g);
         assert_eq!(clean, states, "{backend:?}");
